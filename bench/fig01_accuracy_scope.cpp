@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 1: effective accuracy vs scope for AMPM, BOP, and SMS across
+ * the SPEC-like suite, with the suite-wide global average (the
+ * motivating tradeoff: scope rises AMPM -> BOP -> SMS while accuracy
+ * falls).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+namespace
+{
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(200000);
+    return instance;
+}
+
+const char *kPrefetchers[] = {"AMPM", "BOP", "SMS"};
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+
+    std::printf("\n== Figure 1: accuracy vs scope (per application) "
+                "==\n");
+    TextTable table({"prefetcher", "app", "scope", "eff.accuracy"});
+    for (const char *pf : kPrefetchers) {
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            table.addRow({pf, run->workload, fmt("%.2f", run->scope),
+                          fmt("%.2f", run->effAccuracyL1)});
+        }
+    }
+    table.print();
+
+    std::printf("\n-- global averages (paper: AMPM 67%%/58%%, BOP "
+                "76%%/49%%, SMS 87%%/48%%) --\n");
+    TextTable avg({"prefetcher", "avg scope", "avg accuracy"});
+    for (const char *pf : kPrefetchers) {
+        avg.addRow({pf, fmt("%.2f", collector().weightedScope(pf)),
+                    fmt("%.2f", collector().weightedAccuracy(pf))});
+    }
+    avg.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *pf : kPrefetchers) {
+        for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
+            dol::bench::registerCell(collector(), spec, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

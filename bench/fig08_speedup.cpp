@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 8: speedup of every prefetcher over the no-prefetch baseline
+ * for all 21 SPEC-like applications, sorted by average gain, plus the
+ * suite geomeans (paper: TPC 1.41 vs 1.21-1.33 for monolithics).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+
+namespace
+{
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(200000);
+    return instance;
+}
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+    const auto prefetchers = figureEightPrefetcherNames();
+
+    // Sort applications by average gain across prefetchers (the
+    // paper's x-axis ordering).
+    std::map<std::string, double> avg_gain;
+    std::map<std::string, std::map<std::string, double>> cells;
+    for (const RunOutput &run : collector().results()) {
+        cells[run.workload][run.prefetcher] = run.speedup();
+        avg_gain[run.workload] += run.speedup();
+    }
+    std::vector<std::string> apps;
+    for (const auto &[app, gain] : avg_gain)
+        apps.push_back(app);
+    std::sort(apps.begin(), apps.end(),
+              [&](const std::string &a, const std::string &b) {
+                  return avg_gain[a] < avg_gain[b];
+              });
+
+    std::printf("\n== Figure 8: speedup per application (sorted by "
+                "average gain) ==\n");
+    std::vector<std::string> headers{"app"};
+    for (const auto &pf : prefetchers)
+        headers.push_back(pf);
+    TextTable table(headers);
+    for (const std::string &app : apps) {
+        std::vector<std::string> row{app};
+        for (const auto &pf : prefetchers)
+            row.push_back(fmt("%.2f", cells[app][pf]));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\n-- suite geomean (paper: TPC 1.41, monolithics "
+                "1.21-1.33) --\n");
+    TextTable geo({"prefetcher", "geomean speedup", "best-in-N apps"});
+    for (const auto &pf : prefetchers) {
+        unsigned best = 0;
+        for (const std::string &app : apps) {
+            bool is_best = true;
+            for (const auto &other : prefetchers)
+                is_best &= cells[app][pf] >= cells[app][other] - 1e-9;
+            best += is_best;
+        }
+        geo.addRow({pf, fmt("%.3f", collector().geomeanSpeedup(pf)),
+                    fmt("%.0f", static_cast<double>(best))});
+    }
+    geo.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &pf : dol::figureEightPrefetcherNames()) {
+        for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
+            dol::bench::registerCell(collector(), spec, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 9: memory traffic normalized to the no-prefetch baseline —
+ * suite geomean plus the per-application range (paper: TPC +6%%, the
+ * best monolithic (BOP) +12%%).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+
+namespace
+{
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(200000);
+    return instance;
+}
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+
+    std::printf("\n== Figure 9: normalized memory traffic (geomean "
+                "and range; paper: TPC 1.06, BOP 1.12) ==\n");
+    TextTable table(
+        {"prefetcher", "geomean traffic", "min", "max"});
+    for (const std::string &pf : figureEightPrefetcherNames()) {
+        std::vector<double> traffic;
+        RunningStat range;
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            traffic.push_back(std::max(run->trafficNormalized, 1e-6));
+            range.add(run->trafficNormalized);
+        }
+        table.addRow({pf, fmt("%.3f", geomean(traffic)),
+                      fmt("%.2f", range.min()),
+                      fmt("%.2f", range.max())});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &pf : dol::figureEightPrefetcherNames()) {
+        for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
+            dol::bench::registerCell(collector(), spec, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

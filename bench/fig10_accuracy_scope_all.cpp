@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 10: effective accuracy (L1) vs scope for every prefetcher,
+ * one dot per application weighted by prefetches issued, plus each
+ * prefetcher's weighted suite average (paper: monolithic averages
+ * 45-69%%, TPC 82%% with worst-case 49%%).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+
+namespace
+{
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(200000);
+    return instance;
+}
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+
+    std::printf("\n== Figure 10: effective accuracy vs scope (per "
+                "app; weight = prefetches issued) ==\n");
+    TextTable table({"prefetcher", "app", "scope", "accuracy",
+                     "issued"});
+    for (const std::string &pf : figureEightPrefetcherNames()) {
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            table.addRow(
+                {pf, run->workload, fmt("%.2f", run->scope),
+                 fmt("%.2f", run->effAccuracyL1),
+                 fmt("%.0f",
+                     static_cast<double>(run->prefetchesIssued))});
+        }
+    }
+    table.print();
+
+    std::printf("\n-- weighted suite averages (paper: monolithics "
+                "45-69%%, TPC 82%%) --\n");
+    TextTable avg({"prefetcher", "avg scope", "avg accuracy",
+                   "worst-app accuracy"});
+    for (const std::string &pf : figureEightPrefetcherNames()) {
+        RunningStat worst;
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            if (run->prefetchesIssued > 100)
+                worst.add(run->effAccuracyL1);
+        }
+        avg.addRow({pf, fmt("%.2f", collector().weightedScope(pf)),
+                    fmt("%.2f", collector().weightedAccuracy(pf)),
+                    fmt("%.2f", worst.min())});
+    }
+    avg.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &pf : dol::figureEightPrefetcherNames()) {
+        for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
+            dol::bench::registerCell(collector(), spec, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

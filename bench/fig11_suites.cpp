@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 11: speedup by benchmark suite — the SPEC-like, CRONO-like,
+ * STARBENCH-like and NPB-like single-core suites plus 4-core
+ * multiprogrammed mixes — and the all-workload geomean (paper: TPC
+ * 1.39 vs 1.22-1.31 over 68 workloads).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+#include "sim/multicore.hpp"
+
+namespace
+{
+
+constexpr unsigned kNumMixes = 6;
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(150000);
+    return instance;
+}
+
+struct MixRecord
+{
+    std::string prefetcher;
+    unsigned mix;
+    double weightedSpeedup;
+};
+
+std::vector<MixRecord> &
+mixRecords()
+{
+    static std::vector<MixRecord> records;
+    return records;
+}
+
+const dol::MulticoreResult &
+mixBaseline(unsigned mix_index)
+{
+    using namespace dol;
+    static std::map<unsigned, MulticoreResult> cache;
+    auto it = cache.find(mix_index);
+    if (it == cache.end()) {
+        SimConfig config = makeBenchConfig(40000);
+        const auto mixes = makeMixes(kNumMixes, 2018);
+        MulticoreSimulator sim(config, mixes[mix_index], "");
+        it = cache.emplace(mix_index, sim.run()).first;
+    }
+    return it->second;
+}
+
+void
+registerMix(unsigned mix_index, const std::string &prefetcher)
+{
+    using namespace dol;
+    const std::string label =
+        prefetcher + "/mix" + std::to_string(mix_index);
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [mix_index, prefetcher](benchmark::State &state) {
+            double ws = 1.0;
+            for (auto _ : state) {
+                SimConfig config = makeBenchConfig(40000);
+                const auto mixes = makeMixes(kNumMixes, 2018);
+                MulticoreSimulator sim(config, mixes[mix_index],
+                                       prefetcher);
+                const MulticoreResult result = sim.run();
+                ws = result.weightedSpeedup(mixBaseline(mix_index));
+            }
+            state.counters["weighted_speedup"] = ws;
+            mixRecords().push_back({prefetcher, mix_index, ws});
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+    const auto prefetchers = figureEightPrefetcherNames();
+
+    std::printf("\n== Figure 11: geomean speedup by suite ==\n");
+    TextTable table({"prefetcher", "spec", "crono", "starbench",
+                     "npb", "4-core mixes", "all"});
+    for (const auto &pf : prefetchers) {
+        std::map<std::string, std::vector<double>> by_suite;
+        std::vector<double> all;
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            const std::string &suite =
+                findWorkload(run->workload).suite;
+            by_suite[suite].push_back(std::max(run->speedup(), 1e-6));
+            all.push_back(std::max(run->speedup(), 1e-6));
+        }
+        std::vector<double> mixes;
+        for (const MixRecord &record : mixRecords()) {
+            if (record.prefetcher == pf) {
+                mixes.push_back(std::max(record.weightedSpeedup, 1e-6));
+                all.push_back(std::max(record.weightedSpeedup, 1e-6));
+            }
+        }
+        table.addRow({pf, fmt("%.3f", geomean(by_suite["spec"])),
+                      fmt("%.3f", geomean(by_suite["crono"])),
+                      fmt("%.3f", geomean(by_suite["starbench"])),
+                      fmt("%.3f", geomean(by_suite["npb"])),
+                      fmt("%.3f", geomean(mixes)),
+                      fmt("%.3f", geomean(all))});
+    }
+    table.print();
+    std::printf("(paper: TPC 1.39 vs 1.22-1.31 across 68 "
+                "workloads)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string &pf : dol::figureEightPrefetcherNames()) {
+        for (const dol::WorkloadSpec &spec : dol::allWorkloads())
+            dol::bench::registerCell(collector(), spec, pf);
+        for (unsigned m = 0; m < kNumMixes; ++m)
+            registerMix(m, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

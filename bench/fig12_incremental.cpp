@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 12: effective accuracy and coverage vs scope at the L1 and
+ * L2 caches. Monolithic prefetchers are single points; TPC appears
+ * incrementally as components are enabled: T2, then +P1, then +C1.
+ * A linear fit over the monolithic points reproduces the paper's
+ * falling accuracy-vs-scope trend line.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+
+namespace
+{
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(200000);
+    return instance;
+}
+
+const char *kConfigs[] = {"GHB-PC/DC", "FDP",  "VLDP", "SPP", "BOP",
+                          "AMPM",      "SMS",  "T2",   "T2P1", "TPC"};
+
+void
+printSummary()
+{
+    using namespace dol;
+    using namespace dol::bench;
+
+    std::printf("\n== Figure 12: suite-wide accuracy & coverage vs "
+                "scope (L1 and L2) ==\n");
+    TextTable table({"config", "scope", "accL1", "covL1", "accL2",
+                     "covL2"});
+    std::vector<double> mono_scope, mono_acc;
+    for (const char *pf : kConfigs) {
+        double acc1 = 0, cov1 = 0, acc2 = 0, cov2 = 0, den = 0;
+        for (const RunOutput *run : collector().byPrefetcher(pf)) {
+            const double w = run->baselineMpkiL1;
+            acc1 += run->effAccuracyL1 * w;
+            cov1 += run->effCoverageL1 * w;
+            acc2 += run->effAccuracyL2 * w;
+            cov2 += run->effCoverageL2 * w;
+            den += w;
+        }
+        if (den > 0) {
+            acc1 /= den; cov1 /= den; acc2 /= den; cov2 /= den;
+        }
+        const double scope = collector().weightedScope(pf);
+        const std::string name = pf;
+        if (name != "T2" && name != "T2P1" && name != "TPC") {
+            mono_scope.push_back(scope);
+            mono_acc.push_back(acc1);
+        }
+        table.addRow({pf, fmt("%.2f", scope), fmt("%.2f", acc1),
+                      fmt("%.2f", cov1), fmt("%.2f", acc2),
+                      fmt("%.2f", cov2)});
+    }
+    table.print();
+
+    const LinearFit fit = linearFit(mono_scope, mono_acc);
+    std::printf("\nmonolithic accuracy-vs-scope regression: "
+                "accuracy = %.2f + %.2f * scope\n",
+                fit.intercept, fit.slope);
+    std::printf("(paper: accuracy falls as scope grows; TPC sits "
+                "above the line)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *pf : kConfigs) {
+        for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
+            dol::bench::registerCell(collector(), spec, pf);
+    }
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

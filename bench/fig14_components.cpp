@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Figure 14: existing prefetchers working alone vs as a component
+ * beside TPC, measured inside the region TPC does not cover (the
+ * exclude set is TPC's own prefetching footprint). The paper's
+ * finding: as a coordinated component, each design's accuracy in that
+ * region improves (e.g. SMS 27%% -> 43%%).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hpp"
+#include "core/registry.hpp"
+
+namespace
+{
+
+const char *kExtras[] = {"VLDP", "SPP", "FDP", "SMS"};
+
+struct FocusResult
+{
+    double accuracy = 0.0;
+    double scope = 0.0;
+    std::uint64_t issued = 0;
+};
+
+struct Cell
+{
+    FocusResult alone;
+    FocusResult composed;
+};
+
+std::map<std::string, Cell> &
+cells()
+{
+    static std::map<std::string, Cell> instance;
+    return instance;
+}
+
+dol::bench::Collector &
+collector()
+{
+    static dol::bench::Collector instance(150000);
+    return instance;
+}
+
+void
+registerExtra(const std::string &extra)
+{
+    using namespace dol;
+    const std::string label = "fig14/" + extra;
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [extra](benchmark::State &state) {
+            for (auto _ : state) {
+                double alone_acc = 0, alone_scope = 0;
+                double comp_acc = 0, comp_scope = 0, weight = 0;
+                std::uint64_t alone_issued = 0, comp_issued = 0;
+
+                for (const WorkloadSpec &spec : speclikeSuite()) {
+                    // TPC's footprint defines the uncovered region.
+                    const RunOutput tpc =
+                        collector().runner().run(spec, "TPC");
+
+                    RunOptions focus;
+                    focus.exclude = tpc.pfp;
+                    const RunOutput alone = collector().runner().run(
+                        spec, extra, focus);
+                    const RunOutput composed =
+                        collector().runner().run(spec, "TPC+" + extra,
+                                                 focus);
+
+                    const double w = alone.baselineMpkiL1 + 1e-9;
+                    alone_acc +=
+                        alone.focus.effectiveAccuracy() * w;
+                    alone_scope += alone.focusScope * w;
+                    alone_issued += alone.focus.issued;
+                    comp_acc +=
+                        composed.focus.effectiveAccuracy() * w;
+                    comp_scope += composed.focusScope * w;
+                    comp_issued += composed.focus.issued;
+                    weight += w;
+                }
+                Cell cell;
+                cell.alone = {alone_acc / weight,
+                              alone_scope / weight, alone_issued};
+                cell.composed = {comp_acc / weight,
+                                 comp_scope / weight, comp_issued};
+                cells()[extra] = cell;
+                state.counters["alone_acc"] = cell.alone.accuracy;
+                state.counters["composed_acc"] =
+                    cell.composed.accuracy;
+            }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
+printSummary()
+{
+    using namespace dol;
+    std::printf("\n== Figure 14: alone vs as-a-TPC-component, inside "
+                "the region TPC does not cover ==\n");
+    TextTable table({"design", "alone acc", "alone scope",
+                     "component acc", "component scope"});
+    for (const char *extra : kExtras) {
+        const Cell &cell = cells()[extra];
+        table.addRow({extra, fmt("%.2f", cell.alone.accuracy),
+                      fmt("%.2f", cell.alone.scope),
+                      fmt("%.2f", cell.composed.accuracy),
+                      fmt("%.2f", cell.composed.scope)});
+    }
+    table.print();
+    std::printf("(paper: accuracy improves in every case when "
+                "composed, e.g. SMS 27%% -> 43%%)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *extra : kExtras)
+        registerExtra(extra);
+    return dol::bench::benchMain(argc, argv, printSummary);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment benchmarks.
+ *
+ * Every bench binary is a google-benchmark executable: each
+ * (workload, prefetcher) cell of the paper's figure is registered as
+ * one benchmark iteration whose runtime is the simulation itself, with
+ * headline metrics attached as counters. After the benchmark pass, the
+ * binary prints the paper-style summary table for EXPERIMENTS.md.
+ */
+
+#ifndef DOL_BENCH_HARNESS_HPP
+#define DOL_BENCH_HARNESS_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "metrics/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace dol::bench
+{
+
+/** Shared runner + result store for one bench binary. */
+class Collector
+{
+  public:
+    explicit Collector(std::uint64_t max_instrs = 200000)
+        : _runner(makeBenchConfig(max_instrs))
+    {}
+
+    ExperimentRunner &runner() { return _runner; }
+
+    RunOutput &
+    record(RunOutput out)
+    {
+        _results.push_back(std::move(out));
+        return _results.back();
+    }
+
+    const std::vector<RunOutput> &results() const { return _results; }
+
+    /** All results of one prefetcher, in run order. */
+    std::vector<const RunOutput *>
+    byPrefetcher(const std::string &name) const
+    {
+        std::vector<const RunOutput *> out;
+        for (const RunOutput &result : _results) {
+            if (result.prefetcher == name)
+                out.push_back(&result);
+        }
+        return out;
+    }
+
+    double
+    geomeanSpeedup(const std::string &name) const
+    {
+        std::vector<double> speedups;
+        for (const RunOutput *run : byPrefetcher(name))
+            speedups.push_back(std::max(run->speedup(), 1e-6));
+        return geomean(speedups);
+    }
+
+    /** Suite-wide average weighted by prefetches issued (Fig. 10). */
+    double
+    weightedAccuracy(const std::string &name) const
+    {
+        double num = 0.0, den = 0.0;
+        for (const RunOutput *run : byPrefetcher(name)) {
+            num += run->effAccuracyL1 *
+                   static_cast<double>(run->prefetchesIssued);
+            den += static_cast<double>(run->prefetchesIssued);
+        }
+        return den > 0 ? num / den : 0.0;
+    }
+
+    /** Suite-wide scope weighted by baseline MPKI (Fig. 10/12). */
+    double
+    weightedScope(const std::string &name) const
+    {
+        double num = 0.0, den = 0.0;
+        for (const RunOutput *run : byPrefetcher(name)) {
+            num += run->scope * run->baselineMpkiL1;
+            den += run->baselineMpkiL1;
+        }
+        return den > 0 ? num / den : 0.0;
+    }
+
+  private:
+    ExperimentRunner _runner;
+    std::vector<RunOutput> _results;
+};
+
+/**
+ * Register one (workload, prefetcher) cell. The simulation runs once
+ * inside the benchmark loop; counters expose the headline metrics.
+ */
+inline void
+registerCell(Collector &collector, const WorkloadSpec &spec,
+             const std::string &prefetcher, RunOptions options = {},
+             const std::string &label_suffix = "")
+{
+    const std::string label =
+        prefetcher + "/" + spec.name + label_suffix;
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [&collector, spec, prefetcher,
+         options = std::move(options)](benchmark::State &state) {
+            RunOutput out;
+            for (auto _ : state)
+                out = collector.runner().run(spec, prefetcher, options);
+            state.counters["speedup"] = out.speedup();
+            state.counters["acc_L1"] = out.effAccuracyL1;
+            state.counters["scope"] = out.scope;
+            state.counters["traffic"] = out.trafficNormalized;
+            collector.record(std::move(out));
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Standard bench main: run benchmarks, then print the table. */
+inline int
+benchMain(int argc, char **argv, const std::function<void()> &summary)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    summary();
+    return 0;
+}
+
+} // namespace dol::bench
+
+#endif // DOL_BENCH_HARNESS_HPP

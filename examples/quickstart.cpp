@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a workload, run it with and without the TPC
+ * composite prefetcher, and print the headline metrics.
+ *
+ *   $ ./quickstart [workload] [prefetcher]
+ *   $ ./quickstart libquantum.syn TPC
+ *
+ * Any workload from the suites (see suite.hpp) and any registry name
+ * ("TPC", "T2", "SPP", "BOP", "TPC+SMS", ...) works.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "metrics/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dol;
+
+    const std::string workload =
+        argc > 1 ? argv[1] : "libquantum.syn";
+    const std::string prefetcher = argc > 2 ? argv[2] : "TPC";
+
+    SimConfig config;
+    config.maxInstrs = 300000;
+
+    std::printf("simulating %s with %s (%lu instructions)...\n",
+                workload.c_str(), prefetcher.c_str(),
+                static_cast<unsigned long>(config.maxInstrs));
+
+    ExperimentRunner runner(config);
+    const WorkloadSpec &spec = findWorkload(workload);
+    const RunOutput out = runner.run(spec, prefetcher);
+
+    TextTable table({"metric", "value"});
+    table.addRow({"baseline IPC", fmt("%.3f", out.baselineIpc)});
+    table.addRow({"IPC with prefetcher", fmt("%.3f", out.ipc)});
+    table.addRow({"speedup", fmt("%.3f", out.speedup())});
+    table.addRow({"baseline L1 MPKI", fmt("%.1f", out.baselineMpkiL1)});
+    table.addRow({"prefetches issued",
+                  fmt("%.0f",
+                      static_cast<double>(out.prefetchesIssued))});
+    table.addRow({"prefetching scope", fmt("%.2f", out.scope)});
+    table.addRow({"effective accuracy (L1)",
+                  fmt("%.2f", out.effAccuracyL1)});
+    table.addRow({"effective coverage (L1)",
+                  fmt("%.2f", out.effCoverageL1)});
+    table.addRow({"normalized memory traffic",
+                  fmt("%.3f", out.trafficNormalized)});
+    table.print();
+
+    if (!out.components.empty()) {
+        std::printf("\nper-component breakdown:\n");
+        TextTable comps({"component", "issued", "used", "scope"});
+        for (const auto &comp : out.components) {
+            comps.addRow(
+                {comp.name,
+                 fmt("%.0f", static_cast<double>(comp.issued)),
+                 fmt("%.0f", static_cast<double>(comp.used)),
+                 fmt("%.2f", comp.scope)});
+        }
+        comps.print();
+    }
+    return 0;
+}

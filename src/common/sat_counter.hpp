@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Saturating counter, the workhorse state element of prefetcher FSMs.
+ */
+
+#ifndef DOL_COMMON_SAT_COUNTER_HPP
+#define DOL_COMMON_SAT_COUNTER_HPP
+
+#include <cassert>
+#include <cstdint>
+
+namespace dol
+{
+
+/**
+ * An unsigned saturating counter with a configurable ceiling.
+ *
+ * Used for confidence tracking in prefetcher components (e.g. the
+ * stride-stability counters in T2's SIT and SPP's path confidence).
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned max_value = 3, unsigned initial = 0)
+        : _value(initial), _max(max_value)
+    {
+        assert(initial <= max_value);
+    }
+
+    /** Increment, saturating at the ceiling. Returns the new value. */
+    unsigned
+    increment()
+    {
+        if (_value < _max)
+            ++_value;
+        return _value;
+    }
+
+    /** Decrement, saturating at zero. Returns the new value. */
+    unsigned
+    decrement()
+    {
+        if (_value > 0)
+            --_value;
+        return _value;
+    }
+
+    void reset(unsigned v = 0) { assert(v <= _max); _value = v; }
+
+    unsigned value() const { return _value; }
+    unsigned max() const { return _max; }
+    bool saturated() const { return _value == _max; }
+
+    /** True when the counter is in its upper half (weak "taken"). */
+    bool high() const { return _value * 2 > _max; }
+
+  private:
+    unsigned _value;
+    unsigned _max;
+};
+
+} // namespace dol
+
+#endif // DOL_COMMON_SAT_COUNTER_HPP

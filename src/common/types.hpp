@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental type aliases and address arithmetic used across the
+ * division-of-labor prefetching library.
+ */
+
+#ifndef DOL_COMMON_TYPES_HPP
+#define DOL_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace dol
+{
+
+/** Byte-granularity virtual address. */
+using Addr = std::uint64_t;
+
+/** Core clock cycle count (3 GHz core clock throughout). */
+using Cycle = std::uint64_t;
+
+/** Program counter of a static instruction. */
+using Pc = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line geometry: 64-byte lines everywhere (Table I). */
+constexpr unsigned kLineBits = 6;
+constexpr unsigned kLineBytes = 1u << kLineBits;
+
+/** Region geometry used by the C1 component: 16 lines = 1 KB. */
+constexpr unsigned kRegionLineCount = 16;
+constexpr unsigned kRegionBits = kLineBits + 4;
+constexpr unsigned kRegionBytes = 1u << kRegionBits;
+
+/** Core clock in Hz; Table I specifies a 3.0 GHz core. */
+constexpr double kCoreClockHz = 3.0e9;
+
+/** Convert a byte address to its cache line address (low bits zero). */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr & ~Addr{kLineBytes - 1};
+}
+
+/** Convert a byte address to a cache line number. */
+constexpr Addr
+lineNum(Addr byte_addr)
+{
+    return byte_addr >> kLineBits;
+}
+
+/** Convert a byte address to its 1 KB region number. */
+constexpr Addr
+regionNum(Addr byte_addr)
+{
+    return byte_addr >> kRegionBits;
+}
+
+/** Index of a line within its 16-line region. */
+constexpr unsigned
+lineInRegion(Addr byte_addr)
+{
+    return static_cast<unsigned>((byte_addr >> kLineBits) &
+                                 (kRegionLineCount - 1));
+}
+
+/** Convert nanoseconds to core cycles at the 3 GHz core clock. */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    return static_cast<Cycle>(ns * kCoreClockHz / 1.0e9 + 0.5);
+}
+
+} // namespace dol
+
+#endif // DOL_COMMON_TYPES_HPP

@@ -1,0 +1,151 @@
+#include "core/c1.hpp"
+
+#include <bit>
+
+namespace dol
+{
+
+C1Prefetcher::C1Prefetcher() : C1Prefetcher(Params()) {}
+
+C1Prefetcher::C1Prefetcher(const Params &params)
+    : Prefetcher("C1"), _params(params),
+      _regions(params.regionEntries),
+      _instrs(params.instructionEntries)
+{}
+
+bool
+C1Prefetcher::isMonitored(Pc m_pc) const
+{
+    for (const InstrEntry &entry : _instrs) {
+        if (entry.valid && entry.mPc == m_pc)
+            return true;
+    }
+    return false;
+}
+
+bool
+C1Prefetcher::considerInstruction(Pc m_pc)
+{
+    if (_marked.contains(m_pc) || isMonitored(m_pc))
+        return true;
+    if (_rejected.contains(m_pc))
+        return false;
+    for (InstrEntry &entry : _instrs) {
+        if (!entry.valid) {
+            entry = InstrEntry{};
+            entry.valid = true;
+            entry.mPc = m_pc;
+            return true;
+        }
+    }
+    return false; // IM full: entries stay until their verdict
+}
+
+void
+C1Prefetcher::decide(InstrEntry &entry)
+{
+    // Dense with probability > 3/4 across the observed regions?
+    if (entry.denseRegions * _params.denseDen >
+        entry.totalRegions * _params.denseNum) {
+        if (_marked.size() >= _params.maxMarked)
+            _marked.clear(); // state bits are finite
+        _marked.insert(entry.mPc);
+    } else {
+        if (_rejected.size() >= _params.maxMarked)
+            _rejected.clear();
+        _rejected.insert(entry.mPc);
+    }
+    entry.valid = false; // vacate for the next candidate
+}
+
+void
+C1Prefetcher::evictRegion(RegionEntry &entry)
+{
+    if (!entry.valid)
+        return;
+    const bool dense =
+        std::popcount(entry.lineVector) >
+        static_cast<int>(_params.denseLineThreshold);
+    for (unsigned i = 0; i < _instrs.size(); ++i) {
+        if (!((entry.pcVector >> i) & 1))
+            continue;
+        InstrEntry &instr = _instrs[i];
+        if (!instr.valid)
+            continue;
+        ++instr.totalRegions;
+        if (dense)
+            ++instr.denseRegions;
+        if (instr.totalRegions >= _params.decisionRegions)
+            decide(instr);
+    }
+    entry.valid = false;
+}
+
+void
+C1Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    const std::uint64_t region = regionNum(access.addr);
+    const unsigned line_bit = lineInRegion(access.addr);
+
+    // Marked instructions trigger the region prefetch.
+    if (_marked.contains(access.mPc)) {
+        auto [it, inserted] =
+            _lastPrefetchedRegion.try_emplace(access.mPc,
+                                              ~std::uint64_t{0});
+        if (inserted || it->second != region) {
+            it->second = region;
+            const Addr base = region << kRegionBits;
+            for (unsigned i = 0; i < kRegionLineCount; ++i) {
+                emitter.emit(base + (static_cast<Addr>(i) << kLineBits),
+                             _params.destLevel, _params.priority);
+            }
+            ++_regionsPrefetched;
+        }
+    }
+
+    // Track the region in the RM.
+    RegionEntry *found = nullptr;
+    RegionEntry *victim = &_regions[0];
+    for (RegionEntry &entry : _regions) {
+        if (entry.valid && entry.region == region) {
+            found = &entry;
+            break;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+            continue;
+        }
+        if (victim->valid && entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    if (!found) {
+        evictRegion(*victim);
+        *victim = RegionEntry{};
+        victim->valid = true;
+        victim->region = region;
+        found = victim;
+    }
+    found->lineVector |= static_cast<std::uint16_t>(1u << line_bit);
+    found->lruStamp = ++_stamp;
+
+    // Cross-link the accessing instruction if it is being monitored.
+    for (unsigned i = 0; i < _instrs.size(); ++i) {
+        if (_instrs[i].valid && _instrs[i].mPc == access.mPc) {
+            found->pcVector |= static_cast<std::uint16_t>(1u << i);
+            break;
+        }
+    }
+}
+
+std::size_t
+C1Prefetcher::storageBits() const
+{
+    // Table II: 16-entry IM (640 b) + 16-entry RM (1248 b) + 1 KB of
+    // marked-instruction state bits.
+    const std::size_t im_bits = _instrs.size() * (32 + 4 + 4);
+    const std::size_t rm_bits =
+        _regions.size() * (48 + kRegionLineCount + _instrs.size());
+    return im_bits + rm_bits + 1024 * 8;
+}
+
+} // namespace dol

@@ -1,0 +1,281 @@
+#include "core/composite.hpp"
+
+namespace dol
+{
+
+CompositePrefetcher::CompositePrefetcher(const ValueSource *memory)
+    : CompositePrefetcher(memory, Config(), "TPC")
+{}
+
+CompositePrefetcher::CompositePrefetcher(const ValueSource *memory,
+                                         const Config &config,
+                                         std::string name)
+    : Prefetcher(std::move(name)), _config(config)
+{
+    if (config.enableT2)
+        _t2 = std::make_unique<T2Prefetcher>(config.t2);
+    if (config.enableP1 && _t2) {
+        _p1 = std::make_unique<P1Prefetcher>(_t2.get(), memory,
+                                             config.p1);
+    }
+    if (config.enableC1)
+        _c1 = std::make_unique<C1Prefetcher>(config.c1);
+}
+
+void
+CompositePrefetcher::addComponent(std::unique_ptr<Prefetcher> extra)
+{
+    _extras.push_back(std::move(extra));
+    _health.emplace_back();
+}
+
+bool
+CompositePrefetcher::extraSuspended(std::size_t index) const
+{
+    return index < _health.size() &&
+           _health[index].suspendedUntil > _accessCount;
+}
+
+void
+CompositePrefetcher::assignIds(const IdAllocator &alloc)
+{
+    if (_t2)
+        _t2->setId(alloc(_t2->name()));
+    if (_p1)
+        _p1->setId(alloc(_p1->name()));
+    if (_c1)
+        _c1->setId(alloc(_c1->name()));
+    for (auto &extra : _extras)
+        extra->assignIds(alloc);
+
+    // The composite itself never emits; give it a representative id.
+    if (_t2)
+        setId(_t2->id());
+    else if (_c1)
+        setId(_c1->id());
+}
+
+CompositePrefetcher::Owner
+CompositePrefetcher::ownerOf(Pc m_pc) const
+{
+    if (_t2) {
+        const InstrState state = _t2->stateOf(m_pc);
+        if (state == InstrState::kStrided ||
+            state == InstrState::kObservation) {
+            return Owner::kT2;
+        }
+    }
+    if (_p1 && _p1->handles(m_pc))
+        return Owner::kP1;
+    if (_c1 && (_c1->isMarked(m_pc) || _c1->isMonitored(m_pc)))
+        return Owner::kC1;
+    if (_bindings.contains(m_pc))
+        return Owner::kExtra;
+    return Owner::kNone;
+}
+
+int
+CompositePrefetcher::extraIndexOfComponent(ComponentId comp) const
+{
+    for (std::size_t i = 0; i < _extras.size(); ++i) {
+        if (_extras[i]->id() == comp)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+CompositePrefetcher::routeToExtras(const AccessInfo &access,
+                                   PrefetchEmitter &emitter)
+{
+    if (_extras.empty())
+        return;
+
+    // Rebinding: when a demand hits a line one of the extras
+    // prefetched, that component owns the instruction from now on
+    // (paper section IV-E).
+    if (access.l1HitPrefetched) {
+        const int idx = extraIndexOfComponent(access.l1HitComp);
+        if (idx >= 0)
+            _bindings[access.mPc] = static_cast<unsigned>(idx);
+    }
+
+    if (_bindings.size() > (1u << 16))
+        _bindings.clear(); // finite coordinator state
+
+    auto it = _bindings.find(access.mPc);
+    if (it == _bindings.end()) {
+        it = _bindings
+                 .emplace(access.mPc,
+                          _nextBinding++ %
+                              static_cast<unsigned>(_extras.size()))
+                 .first;
+    }
+
+    const unsigned index = it->second;
+    ExtraHealth &health = _health[index];
+    if (access.l1HitPrefetched &&
+        access.l1HitComp == _extras[index]->id()) {
+        ++health.usedWindow;
+    }
+    if (_config.adaptiveThrottle && health.suspendedUntil > _accessCount)
+        return; // component on probation: no prefetching
+
+    Prefetcher &extra = *_extras[index];
+    const std::uint64_t issued_before = emitter.issuedCount();
+    withComponent(extra, emitter, _config.extraDest,
+                  [&] { extra.train(access, emitter); });
+    health.issuedWindow += emitter.issuedCount() - issued_before;
+
+    if (_config.adaptiveThrottle &&
+        health.issuedWindow >= _config.throttleWindow) {
+        const double accuracy =
+            static_cast<double>(health.usedWindow) /
+            static_cast<double>(health.issuedWindow);
+        if (accuracy < _config.throttleMinAccuracy) {
+            health.suspendedUntil =
+                _accessCount + _config.suspendAccesses;
+        }
+        health.issuedWindow = 0;
+        health.usedWindow = 0;
+    }
+}
+
+void
+CompositePrefetcher::train(const AccessInfo &access,
+                           PrefetchEmitter &emitter)
+{
+    ++_accessCount;
+    // T2 sees every access: it is the first expert consulted and the
+    // sole owner of strided instructions.
+    bool claimed = false;
+    if (_t2) {
+        withComponent(*_t2, emitter, _config.t2Dest,
+                      [&] { _t2->train(access, emitter); });
+        const InstrState state = _t2->stateOf(access.mPc);
+        claimed = state == InstrState::kStrided ||
+                  state == InstrState::kObservation;
+    }
+
+    // P1 acts on the retire stream; here it only claims ownership so
+    // lower-priority components leave its instructions alone.
+    if (!claimed && _p1 && _p1->handles(access.mPc))
+        claimed = true;
+
+    if (!claimed && _c1) {
+        if (access.l1PrimaryMiss)
+            _c1->considerInstruction(access.mPc);
+        withComponent(*_c1, emitter, _config.c1Dest,
+                      [&] { _c1->train(access, emitter); });
+        claimed = _c1->isMarked(access.mPc) ||
+                  _c1->isMonitored(access.mPc);
+    }
+
+    if (!claimed)
+        routeToExtras(access, emitter);
+}
+
+void
+CompositePrefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
+                             Pc m_pc, PrefetchEmitter &emitter)
+{
+    if (_t2) {
+        withComponent(*_t2, emitter, _config.t2Dest, [&] {
+            _t2->onInstr(instr, retire, m_pc, emitter);
+        });
+    }
+    if (_p1) {
+        withComponent(*_p1, emitter, _config.p1Dest, [&] {
+            _p1->onInstr(instr, retire, m_pc, emitter);
+        });
+    }
+    for (auto &extra : _extras) {
+        withComponent(*extra, emitter, _config.extraDest, [&] {
+            extra->onInstr(instr, retire, m_pc, emitter);
+        });
+    }
+}
+
+void
+CompositePrefetcher::onFill(ComponentId comp, Addr line_addr,
+                            Cycle completion, PrefetchEmitter &emitter)
+{
+    if (_p1) {
+        withComponent(*_p1, emitter, _config.p1Dest, [&] {
+            _p1->onFill(comp, line_addr, completion, emitter);
+        });
+    }
+    for (auto &extra : _extras) {
+        withComponent(*extra, emitter, _config.extraDest, [&] {
+            extra->onFill(comp, line_addr, completion, emitter);
+        });
+    }
+}
+
+std::size_t
+CompositePrefetcher::storageBits() const
+{
+    std::size_t total = 0;
+    if (_t2)
+        total += _t2->storageBits();
+    if (_p1)
+        total += _p1->storageBits();
+    if (_c1)
+        total += _c1->storageBits();
+    for (const auto &extra : _extras)
+        total += extra->storageBits();
+    return total;
+}
+
+// --- ShuntPrefetcher ---------------------------------------------
+
+void
+ShuntPrefetcher::assignIds(const IdAllocator &alloc)
+{
+    for (auto &component : _components)
+        component->assignIds(alloc);
+    if (!_components.empty())
+        setId(_components.front()->id());
+}
+
+void
+ShuntPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    const Cycle now = emitter.now();
+    for (auto &component : _components) {
+        emitter.setContext(component->id(), now);
+        component->train(access, emitter);
+    }
+}
+
+void
+ShuntPrefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
+                         Pc m_pc, PrefetchEmitter &emitter)
+{
+    const Cycle now = emitter.now();
+    for (auto &component : _components) {
+        emitter.setContext(component->id(), now);
+        component->onInstr(instr, retire, m_pc, emitter);
+    }
+}
+
+void
+ShuntPrefetcher::onFill(ComponentId comp, Addr line_addr,
+                        Cycle completion, PrefetchEmitter &emitter)
+{
+    for (auto &component : _components) {
+        emitter.setContext(component->id(), completion);
+        component->onFill(comp, line_addr, completion, emitter);
+    }
+}
+
+std::size_t
+ShuntPrefetcher::storageBits() const
+{
+    std::size_t total = 0;
+    for (const auto &component : _components)
+        total += component->storageBits();
+    return total;
+}
+
+} // namespace dol

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The composite prefetcher and its coordinator (paper sections IV-D,
+ * IV-E, Figure 7).
+ *
+ * The coordinator is hardwired priority logic: a memory instruction is
+ * offered to T2 first, then P1, then C1; instructions none of them
+ * claims are routed to optional "extra" components (existing
+ * monolithic prefetchers), bound round-robin per instruction and
+ * rebound to whichever component's prefetched line the instruction
+ * later hits. T2/P1 prefetch into L1; C1 into L2 (its lower accuracy
+ * makes L2 the appropriate destination); per-component destination
+ * overrides support the Figure 16 experiment.
+ */
+
+#ifndef DOL_CORE_COMPOSITE_HPP
+#define DOL_CORE_COMPOSITE_HPP
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/c1.hpp"
+#include "core/p1.hpp"
+#include "core/t2.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class CompositePrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        bool enableT2 = true;
+        bool enableP1 = true;
+        bool enableC1 = true;
+        T2Prefetcher::Params t2{};
+        P1Prefetcher::Params p1{};
+        C1Prefetcher::Params c1{};
+        /** Destination overrides (Figure 16 sweeps). */
+        std::optional<unsigned> t2Dest;
+        std::optional<unsigned> p1Dest;
+        std::optional<unsigned> c1Dest;
+        std::optional<unsigned> extraDest;
+
+        /**
+         * Adaptive coordination (the paper's "flexibility" conjecture,
+         * section III): measure each extra component's effective
+         * accuracy online and suspend components whose accuracy
+         * collapses, re-admitting them after a probation window.
+         */
+        bool adaptiveThrottle = false;
+        std::uint64_t throttleWindow = 2048;  ///< issues per verdict
+        double throttleMinAccuracy = 0.15;
+        std::uint64_t suspendAccesses = 8192; ///< probation length
+    };
+
+    explicit CompositePrefetcher(const ValueSource *memory);
+    CompositePrefetcher(const ValueSource *memory, const Config &config,
+                        std::string name = "TPC");
+
+    /** Append an existing prefetcher as an extra component. */
+    void addComponent(std::unique_ptr<Prefetcher> extra);
+
+    // Prefetcher interface -----------------------------------------
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+    void onInstr(const Instr &instr, const RetireInfo &retire, Pc m_pc,
+                 PrefetchEmitter &emitter) override;
+    void onFill(ComponentId comp, Addr line_addr, Cycle completion,
+                PrefetchEmitter &emitter) override;
+    void assignIds(const IdAllocator &alloc) override;
+    std::size_t storageBits() const override;
+
+    // Introspection -------------------------------------------------
+    T2Prefetcher *t2() { return _t2.get(); }
+    P1Prefetcher *p1() { return _p1.get(); }
+    C1Prefetcher *c1() { return _c1.get(); }
+
+    const std::vector<std::unique_ptr<Prefetcher>> &
+    extras() const
+    {
+        return _extras;
+    }
+
+    /** Which component currently owns this instruction (for tests). */
+    enum class Owner { kNone, kT2, kP1, kC1, kExtra };
+    Owner ownerOf(Pc m_pc) const;
+
+    /** Is extra component @p index currently suspended? (tests) */
+    bool extraSuspended(std::size_t index) const;
+
+  private:
+    /** Run a sub-component with its identity and dest override set. */
+    template <typename Fn>
+    void
+    withComponent(Prefetcher &comp, PrefetchEmitter &emitter,
+                  std::optional<unsigned> dest_override, Fn &&fn)
+    {
+        const auto saved = emitter.forcedDestLevel();
+        if (dest_override)
+            emitter.forceDestLevel(dest_override);
+        emitter.setContext(comp.id(), emitter.now());
+        fn();
+        emitter.forceDestLevel(saved);
+    }
+
+    void routeToExtras(const AccessInfo &access,
+                       PrefetchEmitter &emitter);
+    int extraIndexOfComponent(ComponentId comp) const;
+
+    Config _config;
+    std::unique_ptr<T2Prefetcher> _t2;
+    std::unique_ptr<P1Prefetcher> _p1;
+    std::unique_ptr<C1Prefetcher> _c1;
+    std::vector<std::unique_ptr<Prefetcher>> _extras;
+
+    /** Instruction -> extra-component binding (round-robin seeded). */
+    std::unordered_map<Pc, unsigned> _bindings;
+    unsigned _nextBinding = 0;
+
+    /** Online accuracy bookkeeping for the adaptive coordinator. */
+    struct ExtraHealth
+    {
+        std::uint64_t issuedWindow = 0;
+        std::uint64_t usedWindow = 0;
+        std::uint64_t suspendedUntil = 0; ///< access count threshold
+    };
+    std::vector<ExtraHealth> _health;
+    std::uint64_t _accessCount = 0;
+};
+
+/**
+ * Shunting: the same components running in parallel, every one seeing
+ * every access, with no coordination (paper section V-C.3's contrast).
+ */
+class ShuntPrefetcher : public Prefetcher
+{
+  public:
+    explicit ShuntPrefetcher(std::string name = "Shunt")
+        : Prefetcher(std::move(name))
+    {}
+
+    void
+    addComponent(std::unique_ptr<Prefetcher> component)
+    {
+        _components.push_back(std::move(component));
+    }
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+    void onInstr(const Instr &instr, const RetireInfo &retire, Pc m_pc,
+                 PrefetchEmitter &emitter) override;
+    void onFill(ComponentId comp, Addr line_addr, Cycle completion,
+                PrefetchEmitter &emitter) override;
+    void assignIds(const IdAllocator &alloc) override;
+    std::size_t storageBits() const override;
+
+    const std::vector<std::unique_ptr<Prefetcher>> &
+    components() const
+    {
+        return _components;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Prefetcher>> _components;
+};
+
+} // namespace dol
+
+#endif // DOL_CORE_COMPOSITE_HPP

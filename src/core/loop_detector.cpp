@@ -1,0 +1,96 @@
+#include "core/loop_detector.hpp"
+
+namespace dol
+{
+
+bool
+LoopDetector::inNlpct(Pc pc) const
+{
+    for (std::size_t i = 0; i < _nlpctSize; ++i) {
+        if (_nlpct[i] == pc)
+            return true;
+    }
+    return false;
+}
+
+void
+LoopDetector::addToNlpct(Pc pc)
+{
+    if (inNlpct(pc))
+        return;
+    _nlpct[_nlpctHead] = pc;
+    _nlpctHead = (_nlpctHead + 1) % _nlpct.size();
+    if (_nlpctSize < _nlpct.size())
+        ++_nlpctSize;
+}
+
+bool
+LoopDetector::observe(const Instr &instr, Cycle finish)
+{
+    if (!instr.isBackwardBranch())
+        return false;
+    if (inNlpct(instr.pc))
+        return false;
+
+    if (_lrValid && instr.pc == _lrPc && instr.target == _lrTarget) {
+        // Back-to-back instance of the same backward branch: an
+        // iteration boundary of the (now confirmed) inner loop.
+        if (_pendingValid) {
+            // The interrupter did not repeat: non-loop branch.
+            addToNlpct(_pendingPc);
+            _pendingValid = false;
+        }
+        ++_confirmations;
+        ++_iterations;
+        if (_lastBoundary != 0 && finish > _lastBoundary) {
+            const double sample =
+                static_cast<double>(finish - _lastBoundary);
+            // Exponential smoothing keeps the estimate stable across
+            // cache-miss hiccups.
+            _iterTime = _iterTime == 0.0
+                            ? sample
+                            : 0.875 * _iterTime + 0.125 * sample;
+        }
+        _lastBoundary = finish;
+        return true;
+    }
+
+    if (_lrValid && _confirmations >= 1) {
+        // A different backward branch interrupting a confirmed loop.
+        if (_pendingValid && instr.pc == _pendingPc &&
+            instr.target == _pendingTarget) {
+            // Back-to-back repeat of the interrupter: a new inner
+            // loop has started; it takes over the LR.
+            _lrPc = instr.pc;
+            _lrTarget = instr.target;
+            _confirmations = 1;
+            ++_iterations;
+            _pendingValid = false;
+            _lastBoundary = finish;
+            _iterTime = 0.0;
+            return true;
+        }
+        if (_pendingValid)
+            addToNlpct(_pendingPc);
+        _pendingPc = instr.pc;
+        _pendingTarget = instr.target;
+        _pendingValid = true;
+        return false;
+    }
+
+    if (_lrValid && _confirmations == 0) {
+        // The previous candidate never repeated back-to-back; it was
+        // not an inner-loop branch.
+        addToNlpct(_lrPc);
+    }
+
+    _lrPc = instr.pc;
+    _lrTarget = instr.target;
+    _lrValid = true;
+    _confirmations = 0;
+    _lastBoundary = finish;
+    _iterTime = 0.0;
+    return false;
+}
+
+} // namespace dol

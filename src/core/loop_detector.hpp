@@ -1,0 +1,91 @@
+/**
+ * @file
+ * T2's loop hardware (paper section IV-A.1, Figure 3-a).
+ *
+ * A single loop-branch register (LR) holds the PC and target of the
+ * most recent backward branch. Back-to-back instances of the same
+ * backward branch identify an inner loop and mark iteration
+ * boundaries. Backward branches that interrupt a confirmed loop branch
+ * are remembered in the Non-Loop PC Table (NLPCT) and skipped by the
+ * loop marker from then on — so nested loops resolve to the innermost
+ * loop, the one whose iteration time matters for prefetch distance.
+ */
+
+#ifndef DOL_CORE_LOOP_DETECTOR_HPP
+#define DOL_CORE_LOOP_DETECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/instr.hpp"
+
+namespace dol
+{
+
+class LoopDetector
+{
+  public:
+    explicit LoopDetector(unsigned nlpct_entries = 20)
+        : _nlpct(nlpct_entries)
+    {}
+
+    /**
+     * Observe one retired instruction.
+     *
+     * @param finish retirement cycle, used to time iterations
+     * @return true when the instruction closed a loop iteration
+     */
+    bool observe(const Instr &instr, Cycle finish);
+
+    /** Is a stable loop currently executing? */
+    bool inLoop() const { return _confirmations >= 1; }
+
+    /**
+     * Smoothed execution time per iteration of the current inner
+     * loop, in cycles. Zero until a loop is confirmed.
+     */
+    double iterationTime() const { return _iterTime; }
+
+    Pc loopBranchPc() const { return _lrPc; }
+
+    std::uint64_t iterationsObserved() const { return _iterations; }
+
+    /** LR (PC+target) plus NLPCT PC tags. */
+    std::size_t
+    storageBits() const
+    {
+        return 2 * 32 + _nlpct.size() * 32;
+    }
+
+  private:
+    bool inNlpct(Pc pc) const;
+    void addToNlpct(Pc pc);
+
+    std::vector<Pc> _nlpct; ///< FIFO of non-loop backward-branch PCs
+    std::size_t _nlpctHead = 0;
+    std::size_t _nlpctSize = 0;
+
+    Pc _lrPc = 0;
+    Pc _lrTarget = 0;
+    bool _lrValid = false;
+    unsigned _confirmations = 0;
+
+    /**
+     * Interrupting branch seen once. If it repeats back-to-back it is
+     * the branch of a *new* inner loop and takes over the LR; if the
+     * old loop branch reappears first, it was a non-loop branch and
+     * moves to the NLPCT.
+     */
+    Pc _pendingPc = 0;
+    Pc _pendingTarget = 0;
+    bool _pendingValid = false;
+
+    Cycle _lastBoundary = 0;
+    double _iterTime = 0.0;
+    std::uint64_t _iterations = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_CORE_LOOP_DETECTOR_HPP

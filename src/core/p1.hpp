@@ -1,0 +1,196 @@
+/**
+ * @file
+ * P1: the pointer prefetcher component (paper section IV-B, Figure 4).
+ *
+ * Two pointer patterns are targeted:
+ *
+ * 1. *Array of pointers* — a load whose address is a constant offset
+ *    from the value of a strided (T2-identified) load. A one-at-a-time
+ *    scout seeds the taint propagation unit (TPU) at the producer's
+ *    destination register; tainted loads are delta-checked against the
+ *    producer's value and, after four consistent iterations, the
+ *    producer is marked a strided-pointer instruction (its T2 distance
+ *    doubles) and P1 issues the dependent prefetches using the values
+ *    the producer's stream prefetches return.
+ *
+ * 2. *Pointer chains* — a load whose next address is its own previous
+ *    value plus a constant delta (A_{n+1} = value_n + delta). The
+ *    chasing FSM issues one prefetch per returned value during
+ *    catch-up and tops the chain up as the demand stream consumes
+ *    nodes; a prediction ring with a timeout resets the FSM when the
+ *    chain deviates (the paper's correction mechanism).
+ *
+ * Table II budget: 1 PtrPC scout, 8-entry SIT, 64-bit TPU, 1 KB of
+ * state bits = 1.07 KB.
+ */
+
+#ifndef DOL_CORE_P1_HPP
+#define DOL_CORE_P1_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/t2.hpp"
+#include "cpu/taint.hpp"
+#include "mem/memory_image.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class P1Prefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned chainEntries = 8;       ///< pointer-chain SIT
+        unsigned confirmThreshold = 4;   ///< consistent deltas needed
+        unsigned maxChainDepth = 8;      ///< nodes prefetched ahead
+        unsigned timeoutIters = 8;       ///< paper's m (resync window)
+        unsigned scoutIterBudget = 12;   ///< iterations per candidate
+        /** Largest plausible pointer-to-address offset, bytes. */
+        std::int64_t maxPtrDelta = 65536;
+        std::uint8_t priority = 3;
+    };
+
+    /**
+     * @param t2     the stride component whose SIT P1 extends
+     * @param memory simulated memory (values returned by fills)
+     */
+    P1Prefetcher(T2Prefetcher *t2, const ValueSource *memory);
+    P1Prefetcher(T2Prefetcher *t2, const ValueSource *memory,
+                 const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+    void onInstr(const Instr &instr, const RetireInfo &retire, Pc m_pc,
+                 PrefetchEmitter &emitter) override;
+    void onFill(ComponentId comp, Addr line_addr, Cycle completion,
+                PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    /** Does P1 own this instruction? (coordinator query) */
+    bool handles(Pc m_pc) const;
+
+    const Params &params() const { return _params; }
+
+    // Introspection for tests.
+    bool isChainConfirmed(Pc m_pc) const;
+    bool isDependent(Pc m_pc) const { return _dependents.contains(m_pc); }
+    std::uint64_t chainPrefetchesStarted() const { return _chainsStarted; }
+
+  private:
+    /** Ring of predicted future demand lines, for the resync check. */
+    struct PredictionRing
+    {
+        std::array<Addr, 8> lines{};
+        unsigned head = 0;
+        unsigned count = 0;
+
+        void push(Addr line);
+        bool contains(Addr line) const;
+        void clear() { count = 0; }
+    };
+
+    struct ChainEntry
+    {
+        Pc mPc = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+
+        std::uint64_t lastValue = 0;
+        bool hasValue = false;
+        std::int64_t delta = 0;
+        std::uint8_t conf = 0;
+        bool confirmed = false;
+
+        // Chasing FSM state.
+        bool awaitFill = false;
+        Addr chaseAddr = 0;     ///< link-field address being fetched
+        Addr pendingLine = 0;   ///< line whose fill we wait on
+        Addr nextChaseAddr = 0; ///< next link to fetch (value known)
+        bool nextValid = false;
+        /** Earliest cycle the FSM physically knows nextChaseAddr
+         *  (fill return time) — prefetches never issue before it. */
+        Cycle nextKnownAt = 0;
+        unsigned ahead = 0; ///< nodes prefetched ahead of demand
+
+        PredictionRing predicted;
+        std::uint8_t missCount = 0;
+    };
+
+    /** Array-of-pointers: a confirmed producer/dependent pair. */
+    struct ProducerRecord
+    {
+        Pc producerMPc = 0;
+        Pc dependentMPc = 0;
+        std::int64_t ptrDelta = 0;
+        /** Producer's latest architectural value, for the resync
+         *  check: the dependent must access lastValue + ptrDelta. */
+        std::uint64_t lastValue = 0;
+        bool hasLastValue = false;
+        std::uint8_t missCount = 0;
+        /** Producer-stream slot whose dependent was last prefetched;
+         *  advances like T2's frontier so no dependent is skipped
+         *  when the prefetch distance drifts. */
+        Addr slotFrontier = kNoAddr;
+    };
+
+    static bool
+    plausiblePointer(std::uint64_t value)
+    {
+        return value != 0 && value < (std::uint64_t{1} << 44);
+    }
+
+    ChainEntry *findChain(Pc m_pc);
+    ChainEntry &allocateChain(Pc m_pc);
+    void observeChainCandidate(const Instr &instr, Pc m_pc,
+                               PrefetchEmitter &emitter, Cycle when);
+    void advanceChase(ChainEntry &entry, Cycle when,
+                      PrefetchEmitter &emitter);
+    void resetChase(ChainEntry &entry);
+
+    void runScout(const Instr &instr, Pc m_pc);
+    void confirmProducer(Pc producer_m_pc, Pc dependent_m_pc,
+                         std::int64_t delta);
+    void producerExecuted(const Instr &instr, Pc m_pc, Cycle when,
+                          PrefetchEmitter &emitter);
+    void dependentExecuted(const Instr &instr, Pc m_pc);
+
+    Params _params;
+    T2Prefetcher *_t2;
+    const ValueSource *_memory;
+
+    std::vector<ChainEntry> _chains;
+    std::uint64_t _stamp = 0;
+    std::uint64_t _chainsStarted = 0;
+
+    // One-at-a-time producer scout (the PtrPC register + TPU).
+    struct Scout
+    {
+        bool active = false;
+        Pc producerMPc = 0;
+        std::uint64_t producerValue = 0;
+        TaintTracker taint;
+        unsigned iterations = 0;
+
+        Pc candidateMPc = 0;
+        bool haveCandidate = false;
+        std::int64_t candidateDelta = 0;
+        std::uint8_t candidateConf = 0;
+    } _scout;
+
+    /** Producers already scouted (pass or fail), to avoid thrash. */
+    std::unordered_set<Pc> _scouted;
+    /** Confirmed array-of-pointer pairs, keyed by producer mPC. */
+    std::unordered_map<Pc, ProducerRecord> _producers;
+    /** Dependent mPCs P1 owns, mapped back to their producer. */
+    std::unordered_map<Pc, Pc> _dependents;
+};
+
+} // namespace dol
+
+#endif // DOL_CORE_P1_HPP

@@ -1,0 +1,124 @@
+#include "core/registry.hpp"
+
+#include "common/log.hpp"
+#include "prefetch/ampm.hpp"
+#include "prefetch/bop.hpp"
+#include "prefetch/fdp.hpp"
+#include "prefetch/ghb_pcdc.hpp"
+#include "prefetch/isb.hpp"
+#include "prefetch/markov.hpp"
+#include "prefetch/next_line.hpp"
+#include "prefetch/sms.hpp"
+#include "prefetch/spp.hpp"
+#include "prefetch/stride_pc.hpp"
+#include "prefetch/vldp.hpp"
+
+namespace dol
+{
+
+std::vector<std::string>
+monolithicPrefetcherNames()
+{
+    return {"GHB-PC/DC", "FDP", "VLDP", "SPP", "BOP", "AMPM", "SMS"};
+}
+
+std::vector<std::string>
+figureEightPrefetcherNames()
+{
+    auto names = monolithicPrefetcherNames();
+    names.push_back("TPC");
+    return names;
+}
+
+std::unique_ptr<CompositePrefetcher>
+makeTpc(const ValueSource *memory,
+        const CompositePrefetcher::Config &config)
+{
+    return std::make_unique<CompositePrefetcher>(memory, config, "TPC");
+}
+
+namespace
+{
+
+std::unique_ptr<Prefetcher>
+makeMonolithic(const std::string &name)
+{
+    if (name == "GHB-PC/DC")
+        return std::make_unique<GhbPcdcPrefetcher>();
+    if (name == "SPP")
+        return std::make_unique<SppPrefetcher>();
+    if (name == "VLDP")
+        return std::make_unique<VldpPrefetcher>();
+    if (name == "BOP")
+        return std::make_unique<BopPrefetcher>();
+    if (name == "FDP")
+        return std::make_unique<FdpPrefetcher>();
+    if (name == "SMS")
+        return std::make_unique<SmsPrefetcher>();
+    if (name == "AMPM")
+        return std::make_unique<AmpmPrefetcher>();
+    if (name == "Markov")
+        return std::make_unique<MarkovPrefetcher>();
+    if (name == "ISB")
+        return std::make_unique<IsbPrefetcher>();
+    if (name == "NextLine")
+        return std::make_unique<NextLinePrefetcher>();
+    if (name == "StridePC")
+        return std::make_unique<StridePcPrefetcher>();
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, const ValueSource *memory)
+{
+    if (auto mono = makeMonolithic(name))
+        return mono;
+
+    if (name == "T2") {
+        CompositePrefetcher::Config config;
+        config.enableP1 = false;
+        config.enableC1 = false;
+        return std::make_unique<CompositePrefetcher>(memory, config,
+                                                     "T2");
+    }
+    if (name == "T2P1") {
+        CompositePrefetcher::Config config;
+        config.enableC1 = false;
+        return std::make_unique<CompositePrefetcher>(memory, config,
+                                                     "T2P1");
+    }
+    if (name == "TPC")
+        return makeTpc(memory);
+
+    constexpr std::string_view composite_prefix = "TPC+";
+    constexpr std::string_view shunt_prefix = "SHUNT:TPC+";
+
+    if (name.starts_with(shunt_prefix)) {
+        const std::string extra_name(
+            name.substr(shunt_prefix.size()));
+        auto extra = makeMonolithic(extra_name);
+        if (!extra)
+            fatal("unknown shunt component: " + extra_name);
+        auto shunt = std::make_unique<ShuntPrefetcher>(name);
+        shunt->addComponent(makeTpc(memory));
+        shunt->addComponent(std::move(extra));
+        return shunt;
+    }
+
+    if (name.starts_with(composite_prefix)) {
+        const std::string extra_name(
+            name.substr(composite_prefix.size()));
+        auto extra = makeMonolithic(extra_name);
+        if (!extra)
+            fatal("unknown composite component: " + extra_name);
+        auto tpc = makeTpc(memory);
+        tpc->addComponent(std::move(extra));
+        return tpc;
+    }
+
+    fatal("unknown prefetcher: " + name);
+}
+
+} // namespace dol

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Factory for every prefetcher configuration the experiments use.
+ *
+ * Names:
+ *  - monolithic baselines: "GHB-PC/DC", "SPP", "VLDP", "BOP", "FDP",
+ *    "SMS", "AMPM" (Table II set) plus "NextLine" and "StridePC"
+ *  - components / composites: "T2", "T2P1" (T2+P1), "TPC"
+ *  - composited extras: "TPC+<baseline>"  (coordinated, section IV-E)
+ *  - shunted extras:    "SHUNT:TPC+<baseline>" (uncoordinated)
+ */
+
+#ifndef DOL_CORE_REGISTRY_HPP
+#define DOL_CORE_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/composite.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+/** The seven monolithic prefetchers evaluated in the paper. */
+std::vector<std::string> monolithicPrefetcherNames();
+
+/** All headline configurations of Figure 8 (monolithics + TPC). */
+std::vector<std::string> figureEightPrefetcherNames();
+
+/**
+ * Build a prefetcher by name; @p memory is required for
+ * configurations containing P1 (value chaining).
+ *
+ * Calls fatal() on an unknown name.
+ */
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, const ValueSource *memory);
+
+/** TPC with per-component destination overrides (Figure 16). */
+std::unique_ptr<CompositePrefetcher>
+makeTpc(const ValueSource *memory,
+        const CompositePrefetcher::Config &config = {});
+
+} // namespace dol
+
+#endif // DOL_CORE_REGISTRY_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Stride Identifier Table shared by T2 and P1 (paper Figure 3-b).
+ *
+ * Entries are keyed by the call-site-disambiguated mPC (PC xor RAS
+ * top). T2 uses the stride fields; P1 extends the same entry with the
+ * producer-value fields needed for the array-of-pointers pattern,
+ * exactly as the paper's "(expanded) stride identifier table".
+ */
+
+#ifndef DOL_CORE_SIT_HPP
+#define DOL_CORE_SIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dol
+{
+
+/** Per-instruction state kept in the I-cache (paper IV-A.2). */
+enum class InstrState : std::uint8_t
+{
+    kUnknown = 0,     ///< never triggered a primary miss
+    kObservation = 1, ///< being tracked in the SIT
+    kStrided = 2,     ///< confirmed canonical stream
+    kNonStrided = 3,  ///< confirmed not a stream (C1's domain)
+};
+
+struct SitEntry
+{
+    Pc mPc = 0;
+    bool valid = false;
+    std::uint64_t lruStamp = 0;
+
+    Addr lastAddr = 0;
+    std::int64_t delta = 0;
+    std::uint8_t sameDeltaCount = 0;
+    std::uint8_t diffDeltaCount = 0;
+
+    /** Last line the stream prefetch advanced to. */
+    Addr lastIssuedLine = kNoAddr;
+
+    // --- P1 extension: strided-pointer producer tracking ---------
+    std::uint64_t lastValue = 0;
+    bool hasLastValue = false;
+    /** Constant offset between producer value and dependent address. */
+    std::int64_t ptrDelta = 0;
+    std::uint8_t ptrConf = 0;
+    /** Confirmed "strided pointer instruction" (paper IV-B.1). */
+    bool ptrProducer = false;
+};
+
+/** Small fully-associative LRU table of SitEntry. */
+class StrideIdentifierTable
+{
+  public:
+    explicit StrideIdentifierTable(unsigned entries = 32)
+        : _entries(entries)
+    {}
+
+    SitEntry *
+    find(Pc m_pc)
+    {
+        for (SitEntry &entry : _entries) {
+            if (entry.valid && entry.mPc == m_pc) {
+                entry.lruStamp = ++_stamp;
+                return &entry;
+            }
+        }
+        return nullptr;
+    }
+
+    const SitEntry *
+    find(Pc m_pc) const
+    {
+        for (const SitEntry &entry : _entries) {
+            if (entry.valid && entry.mPc == m_pc)
+                return &entry;
+        }
+        return nullptr;
+    }
+
+    SitEntry &
+    allocate(Pc m_pc, Addr addr)
+    {
+        SitEntry *victim = &_entries[0];
+        for (SitEntry &entry : _entries) {
+            if (!entry.valid) {
+                victim = &entry;
+                break;
+            }
+            if (entry.lruStamp < victim->lruStamp)
+                victim = &entry;
+        }
+        *victim = SitEntry{};
+        victim->valid = true;
+        victim->mPc = m_pc;
+        victim->lastAddr = addr;
+        victim->lruStamp = ++_stamp;
+        return *victim;
+    }
+
+    void
+    release(Pc m_pc)
+    {
+        if (SitEntry *entry = find(m_pc))
+            entry->valid = false;
+    }
+
+    std::size_t size() const { return _entries.size(); }
+
+    /** mPc tag (16) + addr (32) + delta (16) + counters (10) +
+     *  pointer extension (value 32 + delta 16 + conf 3 + flags 2). */
+    std::size_t
+    storageBits() const
+    {
+        return _entries.size() * (16 + 32 + 16 + 10 + 32 + 16 + 3 + 2);
+    }
+
+  private:
+    std::vector<SitEntry> _entries;
+    std::uint64_t _stamp = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_CORE_SIT_HPP

@@ -1,0 +1,211 @@
+#include "core/t2.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+T2Prefetcher::T2Prefetcher() : T2Prefetcher(Params()) {}
+
+T2Prefetcher::T2Prefetcher(const Params &params)
+    : Prefetcher("T2"), _params(params),
+      _loops(params.nlpctEntries), _sit(params.sitEntries)
+{}
+
+InstrState
+T2Prefetcher::stateOf(Pc m_pc) const
+{
+    const auto it = _states.find(m_pc);
+    return it == _states.end() ? InstrState::kUnknown : it->second;
+}
+
+void
+T2Prefetcher::setState(Pc m_pc, InstrState state)
+{
+    if (_states.size() >= _params.maxStateEntries &&
+        !_states.contains(m_pc)) {
+        // The I-cache state bits are a finite resource: modelling a
+        // line-fill that resets old entries, drop everything. This is
+        // rare for our working sets.
+        _states.clear();
+    }
+    _states[m_pc] = state;
+}
+
+unsigned
+T2Prefetcher::distance() const
+{
+    const double t_iter = _loops.iterationTime();
+    if (!_loops.inLoop() || t_iter < 1.0)
+        return _params.defaultDistance;
+    const double d = (_amat + _params.marginCycles) / t_iter;
+    return static_cast<unsigned>(std::clamp(
+        d, 1.0, static_cast<double>(_params.maxDistance)));
+}
+
+void
+T2Prefetcher::updateAmat(const AccessInfo &access)
+{
+    if (!access.l1PrimaryMiss)
+        return;
+    const auto sample =
+        static_cast<double>(access.completion - access.when);
+    _amat = 0.875 * _amat + 0.125 * sample;
+}
+
+void
+T2Prefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
+                      Pc m_pc, PrefetchEmitter &emitter)
+{
+    (void)m_pc;
+    (void)emitter;
+    _loops.observe(instr, retire.finish);
+}
+
+void
+T2Prefetcher::issueStream(SitEntry &entry, const AccessInfo &access,
+                          PrefetchEmitter &emitter, unsigned dist)
+{
+    if (entry.delta == 0)
+        return;
+    const bool forward = entry.delta > 0;
+    // Sub-line strides advance the frontier one line at a time;
+    // larger strides advance one stream element at a time (the
+    // intervening lines are never touched and must not be fetched).
+    const std::int64_t magnitude = std::max<std::int64_t>(
+        std::llabs(entry.delta), kLineBytes);
+    const std::int64_t step = forward ? magnitude : -magnitude;
+    const Addr target = static_cast<Addr>(
+        static_cast<std::int64_t>(access.addr) +
+        entry.delta * static_cast<std::int64_t>(dist));
+
+    // Where is this stream's prefetch frontier (a byte position)?
+    const bool have_frontier =
+        entry.lastIssuedLine != kNoAddr &&
+        (forward ? entry.lastIssuedLine >= access.addr
+                 : entry.lastIssuedLine <= access.addr);
+    // Catch-up stage starts just ahead of the demand access.
+    Addr frontier = have_frontier ? entry.lastIssuedLine : access.addr;
+
+    unsigned issued = 0;
+    while (issued < _params.maxCatchup &&
+           (forward ? frontier < target : frontier > target)) {
+        const Addr next = static_cast<Addr>(
+            static_cast<std::int64_t>(frontier) + step);
+        const auto outcome = emitter.emit(next, kL1, _params.priority);
+        if (outcome == PrefetchOutcome::kDroppedMshr ||
+            outcome == PrefetchOutcome::kDroppedQueue) {
+            // No resources: stop here and retry from this frontier on
+            // the next training event, so no line is silently skipped.
+            break;
+        }
+        frontier = next;
+        ++issued;
+    }
+    if (issued > 0 || have_frontier)
+        entry.lastIssuedLine = frontier;
+}
+
+void
+T2Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    updateAmat(access);
+
+    const Pc m_pc =
+        _params.useCallSiteXor ? access.mPc : access.pc;
+    const InstrState state = stateOf(m_pc);
+
+    switch (state) {
+      case InstrState::kUnknown:
+        // Only instructions that trigger a primary miss are worth
+        // tracking (paper: state 0 -> 1 on primary miss).
+        if (access.l1PrimaryMiss) {
+            setState(m_pc, InstrState::kObservation);
+            _sit.allocate(m_pc, access.addr);
+        }
+        break;
+
+      case InstrState::kObservation: {
+        SitEntry *entry = _sit.find(m_pc);
+        if (!entry) {
+            // Evicted while under observation: start over.
+            _sit.allocate(m_pc, access.addr);
+            break;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(access.addr) -
+            static_cast<std::int64_t>(entry->lastAddr);
+        if (delta != 0 && delta == entry->delta) {
+            if (entry->sameDeltaCount < 255)
+                ++entry->sameDeltaCount;
+            entry->diffDeltaCount = 0;
+            if (entry->sameDeltaCount >= _params.strideThreshold) {
+                setState(m_pc, InstrState::kStrided);
+                _lastConfirmed = m_pc;
+            }
+        } else {
+            entry->delta = delta;
+            entry->sameDeltaCount = 0;
+            if (++entry->diffDeltaCount >= _params.nonStrideThreshold) {
+                setState(m_pc, InstrState::kNonStrided);
+                entry->lastAddr = access.addr;
+                break;
+            }
+        }
+        entry->lastAddr = access.addr;
+        // Early prefetching after a short stable run (paper: 4).
+        if (entry->sameDeltaCount >= _params.earlyThreshold)
+            issueStream(*entry, access, emitter, distance());
+        break;
+      }
+
+      case InstrState::kStrided: {
+        SitEntry *entry = _sit.find(m_pc);
+        if (!entry) {
+            entry = &_sit.allocate(m_pc, access.addr);
+            setState(m_pc, InstrState::kObservation);
+            break;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(access.addr) -
+            static_cast<std::int64_t>(entry->lastAddr);
+        if (delta != 0 && delta == entry->delta) {
+            entry->diffDeltaCount = 0;
+            if (entry->sameDeltaCount < 255)
+                ++entry->sameDeltaCount;
+        } else if (++entry->diffDeltaCount >=
+                   _params.nonStrideThreshold) {
+            // The stream broke down; re-observe from scratch.
+            setState(m_pc, InstrState::kObservation);
+            entry->delta = delta;
+            entry->sameDeltaCount = 0;
+            entry->diffDeltaCount = 0;
+            entry->lastIssuedLine = kNoAddr;
+            entry->lastAddr = access.addr;
+            break;
+        }
+        entry->lastAddr = access.addr;
+        unsigned dist = distance();
+        if (entry->ptrProducer) {
+            // Strided-pointer producers run at double distance to
+            // cover the dependent access (paper IV-B.1).
+            dist = std::min(2 * dist, _params.maxDistance);
+        }
+        issueStream(*entry, access, emitter, dist);
+        break;
+      }
+
+      case InstrState::kNonStrided:
+        // Not our pattern; P1/C1 take it from here.
+        break;
+    }
+}
+
+std::size_t
+T2Prefetcher::storageBits() const
+{
+    // SIT + loop hardware + 2 KB of 2-bit I-cache state annotations.
+    return _sit.storageBits() + _loops.storageBits() + 2048 * 8;
+}
+
+} // namespace dol

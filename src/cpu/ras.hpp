@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Return address stack. T2 xors the RAS top into the PC to form the
+ * "mPC" that disambiguates strided streams reached through different
+ * call sites (paper section IV-A.2).
+ */
+
+#ifndef DOL_CPU_RAS_HPP
+#define DOL_CPU_RAS_HPP
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace dol
+{
+
+/** Fixed-depth circular return address stack (Table I: 32 entries). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::size_t depth = 32) : _depth(depth) {}
+
+    void
+    push(Pc return_addr)
+    {
+        _top = (_top + 1) % _depth;
+        _stack[_top] = return_addr;
+        if (_size < _depth)
+            ++_size;
+    }
+
+    void
+    pop()
+    {
+        if (_size == 0)
+            return;
+        --_size;
+        _top = (_top + _depth - 1) % _depth;
+    }
+
+    /** Top of stack; zero when empty so mPC == PC outside any call. */
+    Pc top() const { return _size ? _stack[_top] : 0; }
+
+    std::size_t size() const { return _size; }
+    std::size_t depth() const { return _depth; }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+    std::array<Pc, kMaxDepth> _stack{};
+    std::size_t _depth;
+    std::size_t _top = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_CPU_RAS_HPP

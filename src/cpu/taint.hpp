@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Register taint propagation, the decoder circuit P1 uses to discover
+ * loads whose addresses depend on a producer load (paper section IV-B).
+ *
+ * A 64-bit vector holds one taint bit per logical register. Seeding
+ * sets the bit of the producer's destination; each later instruction
+ * propagates taint from sources to destination. The sweep ends when the
+ * producer instruction is encountered again (one loop iteration).
+ */
+
+#ifndef DOL_CPU_TAINT_HPP
+#define DOL_CPU_TAINT_HPP
+
+#include <cstdint>
+
+#include "cpu/instr.hpp"
+
+namespace dol
+{
+
+class TaintTracker
+{
+  public:
+    /** Clear all taint and mark the producer's destination register. */
+    void
+    seed(RegId producer_dst)
+    {
+        _bits = 0;
+        if (producer_dst < kNumRegs)
+            _bits = std::uint64_t{1} << producer_dst;
+    }
+
+    /**
+     * Propagate taint across one instruction.
+     *
+     * @return true when the instruction read at least one tainted
+     *         source register (i.e. it is transitively dependent).
+     */
+    bool
+    propagate(const Instr &in)
+    {
+        const bool src_tainted =
+            isTainted(in.src1) || isTainted(in.src2);
+        if (in.dst < kNumRegs) {
+            const std::uint64_t bit = std::uint64_t{1} << in.dst;
+            if (src_tainted)
+                _bits |= bit;
+            else
+                _bits &= ~bit;
+        }
+        return src_tainted;
+    }
+
+    bool
+    isTainted(RegId reg) const
+    {
+        return reg < kNumRegs && (_bits >> reg) & 1;
+    }
+
+    std::uint64_t bits() const { return _bits; }
+
+    void clear() { _bits = 0; }
+
+    /** Storage footprint in bits (one per logical register). */
+    static constexpr unsigned storageBits() { return kNumRegs; }
+
+  private:
+    std::uint64_t _bits = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_CPU_TAINT_HPP

@@ -1,0 +1,168 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+Dram::Dram(const DramParams &params)
+    : _params(params), _channels(params.channels)
+{
+    for (Channel &channel : _channels) {
+        channel.banks.resize(params.ranksPerChannel *
+                             params.banksPerRank);
+        channel.queue.reserve(params.queueCapacity);
+    }
+}
+
+unsigned
+Dram::channelOf(Addr line_addr) const
+{
+    return static_cast<unsigned>(lineNum(line_addr) % _params.channels);
+}
+
+unsigned
+Dram::bankOf(Addr line_addr) const
+{
+    const auto banks = _params.ranksPerChannel * _params.banksPerRank;
+    // XOR-hash higher address bits into the bank index, as real
+    // controllers do, so power-of-two strides do not serialize on a
+    // single bank.
+    const std::uint64_t idx = lineNum(line_addr) / _params.channels;
+    return static_cast<unsigned>((idx ^ (idx >> 7) ^ (idx >> 13)) %
+                                 banks);
+}
+
+std::uint64_t
+Dram::rowOf(Addr line_addr) const
+{
+    const auto lines_per_row = _params.rowBytes / kLineBytes;
+    const auto banks = _params.ranksPerChannel * _params.banksPerRank;
+    return lineNum(line_addr) / _params.channels / banks / lines_per_row;
+}
+
+std::size_t
+Dram::pruneQueue(Channel &channel, Cycle now)
+{
+    std::erase_if(channel.queue, [now](const QueueEntry &entry) {
+        return entry.completion <= now;
+    });
+    return channel.queue.size();
+}
+
+bool
+Dram::makeRoom(Channel &channel, Cycle now, bool incoming_is_prefetch,
+               std::uint8_t incoming_priority)
+{
+    // Collect queued prefetches as drop candidates.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < channel.queue.size(); ++i) {
+        if (channel.queue[i].isPrefetch)
+            candidates.push_back(i);
+    }
+
+    if (candidates.empty()) {
+        // Only demands queued: a prefetch is shed, a demand waits.
+        if (incoming_is_prefetch)
+            return false;
+        ++_stats.queueFullDemandStalls;
+        return true; // caller delays to the earliest completion
+    }
+
+    std::size_t victim = candidates.front();
+    if (_params.dropPolicy == DropPolicy::kRandomPrefetch) {
+        victim = candidates[_rng.below(candidates.size())];
+        // Random policy treats the incoming prefetch as one more
+        // equally likely victim.
+        if (incoming_is_prefetch &&
+            _rng.below(candidates.size() + 1) == candidates.size()) {
+            return false;
+        }
+    } else {
+        for (std::size_t idx : candidates) {
+            if (channel.queue[idx].priority <
+                channel.queue[victim].priority) {
+                victim = idx;
+            }
+        }
+        // Priority-aware: shed the incoming prefetch instead if it is
+        // the least confident request in sight.
+        if (incoming_is_prefetch &&
+            incoming_priority <= channel.queue[victim].priority) {
+            return false;
+        }
+    }
+
+    if (_cancel)
+        _cancel(channel.queue[victim].lineAddr);
+    ++_stats.droppedPrefetches;
+    channel.queue.erase(channel.queue.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+    return true;
+}
+
+std::size_t
+Dram::occupancy(Addr line_addr, Cycle now)
+{
+    _clock = std::max(_clock, now);
+    return pruneQueue(_channels[channelOf(line_addr)], _clock);
+}
+
+Dram::Result
+Dram::access(Addr line_addr, Cycle now, bool is_write, bool is_prefetch,
+             std::uint8_t priority)
+{
+    Channel &channel = _channels[channelOf(line_addr)];
+    _clock = std::max(_clock, now);
+
+    if (pruneQueue(channel, _clock) >= _params.queueCapacity) {
+        if (!makeRoom(channel, _clock, is_prefetch, priority)) {
+            ++_stats.droppedPrefetches;
+            return {0, true};
+        }
+        if (pruneQueue(channel, _clock) >= _params.queueCapacity) {
+            // Demands wait for the oldest request to drain.
+            Cycle earliest = kNoCycle;
+            for (const QueueEntry &entry : channel.queue)
+                earliest = std::min(earliest, entry.completion);
+            now = std::max(now, earliest);
+            pruneQueue(channel, now);
+        }
+    }
+
+    Bank &bank = channel.banks[bankOf(line_addr)];
+    const std::uint64_t row = rowOf(line_addr);
+
+    Cycle start = std::max(now + _params.tController, bank.readyAt);
+    Cycle access_lat;
+    if (bank.openRow == row) {
+        access_lat = _params.tCAS;
+        ++_stats.rowHits;
+    } else {
+        access_lat = _params.tRP + _params.tRCD + _params.tCAS;
+        bank.openRow = row;
+        ++_stats.rowMisses;
+    }
+
+    const Cycle bus_start =
+        std::max(start + access_lat, channel.busReadyAt);
+    const Cycle completion = bus_start + _params.tBurst;
+    channel.busReadyAt = completion;
+    // The bank is busy for its own access and burst only; coupling in
+    // bus queueing would make backlog feed on itself.
+    bank.readyAt = start + access_lat + _params.tBurst;
+
+    if (is_write)
+        ++_stats.writes;
+    else
+        ++_stats.reads;
+
+    if (channel.queue.size() < _params.queueCapacity) {
+        channel.queue.push_back(
+            {lineAddr(line_addr), completion, is_prefetch, priority});
+    }
+
+    return {completion, false};
+}
+
+} // namespace dol

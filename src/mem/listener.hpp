@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Observer interface over memory-system events. The metrics layer
+ * (scope, effective accuracy, stratification) and the prefetch system
+ * (P1's value-chaining on fills) both subscribe through this interface,
+ * keeping the memory model free of analysis concerns.
+ */
+
+#ifndef DOL_MEM_LISTENER_HPP
+#define DOL_MEM_LISTENER_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace dol
+{
+
+/** Cache level indices used throughout. */
+enum : unsigned { kL1 = 0, kL2 = 1, kL3 = 2, kNumCacheLevels = 3 };
+
+class MemListener
+{
+  public:
+    virtual ~MemListener() = default;
+
+    /** Primary demand miss in the *baseline* (shadow) hierarchy. */
+    virtual void
+    shadowMiss(unsigned level, Addr line_addr, Pc pc)
+    {
+        (void)level; (void)line_addr; (void)pc;
+    }
+
+    /** Primary demand miss in the real hierarchy. */
+    virtual void
+    demandMiss(unsigned level, Addr line_addr, Pc pc)
+    {
+        (void)level; (void)line_addr; (void)pc;
+    }
+
+    /** A prefetch left the prefetcher (post duplicate filtering). */
+    virtual void
+    prefetchIssued(ComponentId comp, Addr line_addr, unsigned dest_level,
+                   Cycle when)
+    {
+        (void)comp; (void)line_addr; (void)dest_level; (void)when;
+    }
+
+    /** A prefetch fill completes at @p completion (value chaining). */
+    virtual void
+    prefetchFill(ComponentId comp, Addr line_addr, Cycle completion)
+    {
+        (void)comp; (void)line_addr; (void)completion;
+    }
+
+    /** First demand use of a prefetched line (positive credit). */
+    virtual void
+    prefetchUsed(ComponentId comp, unsigned level, Addr line_addr)
+    {
+        (void)comp; (void)level; (void)line_addr;
+    }
+
+    /**
+     * Demand miss that the baseline would have avoided; negative
+     * credit split equally among @p comps_in_set (paper section V-C.1).
+     */
+    virtual void
+    inducedMiss(unsigned level, Addr line_addr,
+                std::span<const ComponentId> comps_in_set)
+    {
+        (void)level; (void)line_addr; (void)comps_in_set;
+    }
+
+    /** A prefetch was shed (full MSHRs or controller queue). */
+    virtual void
+    prefetchDropped(ComponentId comp, Addr line_addr)
+    {
+        (void)comp; (void)line_addr;
+    }
+
+    /** A never-used prefetched line left the cache (pure pollution). */
+    virtual void
+    prefetchEvictedUnused(ComponentId comp, unsigned level,
+                          Addr line_addr)
+    {
+        (void)comp; (void)level; (void)line_addr;
+    }
+};
+
+/** Fan-out listener: forwards every event to all registered sinks. */
+class ListenerChain : public MemListener
+{
+  public:
+    void add(MemListener *listener) { _sinks.push_back(listener); }
+
+    void
+    shadowMiss(unsigned level, Addr line, Pc pc) override
+    {
+        for (auto *s : _sinks)
+            s->shadowMiss(level, line, pc);
+    }
+
+    void
+    demandMiss(unsigned level, Addr line, Pc pc) override
+    {
+        for (auto *s : _sinks)
+            s->demandMiss(level, line, pc);
+    }
+
+    void
+    prefetchIssued(ComponentId comp, Addr line, unsigned dest,
+                   Cycle when) override
+    {
+        for (auto *s : _sinks)
+            s->prefetchIssued(comp, line, dest, when);
+    }
+
+    void
+    prefetchFill(ComponentId comp, Addr line, Cycle completion) override
+    {
+        for (auto *s : _sinks)
+            s->prefetchFill(comp, line, completion);
+    }
+
+    void
+    prefetchUsed(ComponentId comp, unsigned level, Addr line) override
+    {
+        for (auto *s : _sinks)
+            s->prefetchUsed(comp, level, line);
+    }
+
+    void
+    inducedMiss(unsigned level, Addr line,
+                std::span<const ComponentId> comps) override
+    {
+        for (auto *s : _sinks)
+            s->inducedMiss(level, line, comps);
+    }
+
+    void
+    prefetchDropped(ComponentId comp, Addr line) override
+    {
+        for (auto *s : _sinks)
+            s->prefetchDropped(comp, line);
+    }
+
+    void
+    prefetchEvictedUnused(ComponentId comp, unsigned level,
+                          Addr line) override
+    {
+        for (auto *s : _sinks)
+            s->prefetchEvictedUnused(comp, level, line);
+    }
+
+  private:
+    std::vector<MemListener *> _sinks;
+};
+
+} // namespace dol
+
+#endif // DOL_MEM_LISTENER_HPP

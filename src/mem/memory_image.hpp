@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image.
+ *
+ * Workload generators write pointer values into it so that the data
+ * structures they traverse are coherent; the P1 component reads it to
+ * model the value a returning prefetch delivers to its chasing FSM
+ * (paper section IV-B: "the value from the previous prefetch will be
+ * stored [and] the next prefetch will be issued").
+ */
+
+#ifndef DOL_MEM_MEMORY_IMAGE_HPP
+#define DOL_MEM_MEMORY_IMAGE_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dol
+{
+
+/** Read-only view of simulated memory contents. */
+class ValueSource
+{
+  public:
+    virtual ~ValueSource() = default;
+    /** 64-bit little-endian read; unwritten memory reads as zero. */
+    virtual std::uint64_t read64(Addr addr) const = 0;
+};
+
+class MemoryImage : public ValueSource
+{
+  public:
+    std::uint64_t
+    read64(Addr addr) const override
+    {
+        std::uint64_t value = 0;
+        auto *bytes = reinterpret_cast<std::uint8_t *>(&value);
+        for (unsigned i = 0; i < 8; ++i)
+            bytes[i] = readByte(addr + i);
+        return value;
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        const auto *bytes = reinterpret_cast<const std::uint8_t *>(&value);
+        for (unsigned i = 0; i < 8; ++i)
+            writeByte(addr + i, bytes[i]);
+    }
+
+    std::size_t pageCount() const { return _pages.size(); }
+
+  private:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr std::size_t kPageBytes = 1u << kPageBits;
+
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        const auto it = _pages.find(addr >> kPageBits);
+        if (it == _pages.end())
+            return 0;
+        return it->second[addr & (kPageBytes - 1)];
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t byte)
+    {
+        auto &page = _pages[addr >> kPageBits];
+        if (page.empty())
+            page.resize(kPageBytes, 0);
+        page[addr & (kPageBytes - 1)] = byte;
+    }
+
+    std::unordered_map<Addr, std::vector<std::uint8_t>> _pages;
+};
+
+} // namespace dol
+
+#endif // DOL_MEM_MEMORY_IMAGE_HPP

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The three-level memory hierarchy of Table I, glued to the DRAM model
+ * and instrumented with alternate-reality (shadow) tags.
+ *
+ * Each core owns a private L1D and L2 plus shadow replicas of both; a
+ * SharedMemory object holds the shared L3, its shadow, and the DRAM
+ * controller. The shadow hierarchy processes only demand accesses, so
+ * its miss stream *is* the baseline (no-prefetch) miss stream — it
+ * supplies the footprint FP for the scope metric, the denominator of
+ * effective coverage, and the oracle for prefetch-induced misses
+ * (paper sections III and V-C.1).
+ */
+
+#ifndef DOL_MEM_MEMORY_SYSTEM_HPP
+#define DOL_MEM_MEMORY_SYSTEM_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/core.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/listener.hpp"
+
+namespace dol
+{
+
+/** Full hierarchy configuration; defaults reproduce Table I. */
+struct MemParams
+{
+    Cache::Params l1{"L1D", 64 * 1024, 4, nsToCycles(1.0), 32};
+    Cache::Params l2{"L2", 256 * 1024, 8, nsToCycles(3.0), 32};
+    /** Per-core share; the constructor scales by core count. */
+    Cache::Params l3{"L3", 2 * 1024 * 1024, 16, nsToCycles(12.0), 64};
+    DramParams dram{};
+};
+
+/** Counters kept per cache level. */
+struct LevelStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t primaryMisses = 0;
+    std::uint64_t secondaryMisses = 0; ///< merged with in-flight fetch
+    std::uint64_t latePrefetchHits = 0;
+    std::uint64_t inducedMisses = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t mshrStalls = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t unusedPrefetchEvictions = 0;
+    std::uint64_t shadowMisses = 0; ///< baseline primary misses
+};
+
+/** Counters kept per prefetcher component. */
+struct ComponentStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t filled = 0;
+    std::uint64_t used = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t droppedMshr = 0;
+    std::uint64_t droppedQueue = 0;
+    /** Fractional negative credits from induced misses. */
+    double inducedCredit = 0.0;
+};
+
+struct MemStats
+{
+    std::array<LevelStats, kNumCacheLevels> level{};
+    std::array<ComponentStats, kMaxComponents> comp{};
+
+    /** Sum of issued prefetches over all components. */
+    std::uint64_t
+    prefetchesIssued() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &c : comp)
+            total += c.issued;
+        return total;
+    }
+
+    std::uint64_t
+    prefetchesUsed() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &c : comp)
+            total += c.used;
+        return total;
+    }
+};
+
+class MemorySystem;
+
+/** State shared by all cores: L3, its shadow, and the DRAM channel. */
+class SharedMemory
+{
+  public:
+    SharedMemory(const MemParams &params, unsigned num_cores = 1);
+
+    Cache &l3() { return _l3; }
+    Cache &shadowL3() { return _shadowL3; }
+    Dram &dram() { return _dram; }
+    const Dram &dram() const { return _dram; }
+
+    /** Baseline DRAM traffic, in lines (shadow L3 misses + WBs). */
+    std::uint64_t
+    baselineDramLines() const
+    {
+        return _shadowDramReads + _shadowDramWrites;
+    }
+
+    std::uint64_t shadowDramReads() const { return _shadowDramReads; }
+
+    void registerCore(MemorySystem *core);
+
+  private:
+    friend class MemorySystem;
+
+    Cache _l3;
+    Cache _shadowL3;
+    Dram _dram;
+    std::uint64_t _shadowDramReads = 0;
+    std::uint64_t _shadowDramWrites = 0;
+    std::vector<MemorySystem *> _cores;
+};
+
+/** Outcome of a prefetch request. */
+enum class PrefetchOutcome : std::uint8_t
+{
+    kIssued,
+    kFilteredPresent, ///< line already cached at/above the target
+    kFilteredPending, ///< fetch already outstanding
+    kDroppedMshr,     ///< no MSHR available at the target level
+    kDroppedQueue,    ///< shed by the memory controller
+};
+
+class MemorySystem : public DataPort
+{
+  public:
+    /**
+     * Build a per-core hierarchy.
+     *
+     * @param params  cache/DRAM configuration
+     * @param shared  shared L3+DRAM; nullptr builds a private one
+     *                (the common single-core case)
+     */
+    explicit MemorySystem(const MemParams &params = {},
+                          std::shared_ptr<SharedMemory> shared = nullptr);
+
+    // DataPort
+    Result demandLoad(Addr addr, Pc pc, Cycle when) override;
+    Result demandStore(Addr addr, Pc pc, Cycle when) override;
+
+    /**
+     * Issue a prefetch of @p addr into @p dest_level.
+     *
+     * @param priority drop priority at the memory controller; higher
+     *                 values survive longer (T2/P1 > C1).
+     */
+    PrefetchOutcome prefetch(Addr addr, unsigned dest_level,
+                             ComponentId comp, Cycle when,
+                             std::uint8_t priority = 1);
+
+    void setListener(MemListener *listener) { _listener = listener; }
+
+    const MemStats &stats() const { return _stats; }
+    SharedMemory &shared() { return *_shared; }
+    const SharedMemory &shared() const { return *_shared; }
+
+    Cache &cacheAt(unsigned level);
+
+    /** DRAM lines moved for this run (all cores, incl. writebacks). */
+    std::uint64_t
+    dramLines() const
+    {
+        return _shared->dram().linesTransferred();
+    }
+
+    /**
+     * Invalidate an unused prefetched copy of @p line_addr in the
+     * private levels (memory-controller cancellation).
+     */
+    void cancelPrefetchLine(Addr line_addr);
+
+  private:
+    Result demandAccess(Addr addr, Pc pc, Cycle when, bool is_store);
+
+    void shadowWalk(Addr line, Pc pc, bool is_store,
+                    std::array<bool, kNumCacheLevels> &probed,
+                    std::array<bool, kNumCacheLevels> &hit);
+    void shadowFill(unsigned level, Addr line, bool dirty);
+
+    /** Install @p line at @p level; handles eviction/writeback. */
+    void fillLine(unsigned level, Addr line, Cycle completion,
+                  bool prefetched, ComponentId comp, bool dirty,
+                  Cycle now);
+    void handleVictim(unsigned level, const Cache::Victim &victim,
+                      Cycle now);
+
+    Cache *levelCache(unsigned level);
+    Cache *shadowCache(unsigned level);
+
+    std::shared_ptr<SharedMemory> _shared;
+    Cache _l1;
+    Cache _l2;
+    Cache _shadowL1;
+    Cache _shadowL2;
+
+    /**
+     * Upper bound on what a demand pays when it finds its line in
+     * flight: it could always have fetched the line itself, so it is
+     * never slower than a full (row-miss) memory round trip. This
+     * also absorbs timestamp skew between out-of-order issue times.
+     */
+    Cycle _demandRefetchBound = 0;
+
+    /**
+     * Monotonic view of time at the memory interface. Dataflow issue
+     * times are not monotonic in program order; occupancy questions
+     * (are the MSHRs full?) are asked against this clock so a stale
+     * timestamp cannot make long-completed fetches look live.
+     */
+    Cycle _memClock = 0;
+
+    MemListener *_listener = nullptr;
+    MemStats _stats;
+    std::vector<ComponentId> _compScratch;
+};
+
+} // namespace dol
+
+#endif // DOL_MEM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal fixed-width text table used by the benchmark harnesses to
+ * print paper-style result rows.
+ */
+
+#ifndef DOL_METRICS_TABLE_HPP
+#define DOL_METRICS_TABLE_HPP
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dol
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : _headers(std::move(headers)),
+          _widths(_headers.size())
+    {
+        for (std::size_t i = 0; i < _headers.size(); ++i)
+            _widths[i] = _headers[i].size();
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        cells.resize(_headers.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            _widths[i] = std::max(_widths[i], cells[i].size());
+        _rows.push_back(std::move(cells));
+    }
+
+    void
+    print(std::FILE *out = stdout) const
+    {
+        printRow(out, _headers);
+        std::string rule;
+        for (std::size_t i = 0; i < _widths.size(); ++i) {
+            rule.append(_widths[i] + 2, '-');
+            if (i + 1 < _widths.size())
+                rule.push_back('+');
+        }
+        std::fprintf(out, "%s\n", rule.c_str());
+        for (const auto &row : _rows)
+            printRow(out, row);
+    }
+
+  private:
+    void
+    printRow(std::FILE *out, const std::vector<std::string> &cells) const
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::fprintf(out, " %-*s ",
+                         static_cast<int>(_widths[i]),
+                         i < cells.size() ? cells[i].c_str() : "");
+            if (i + 1 < _widths.size())
+                std::fprintf(out, "|");
+        }
+        std::fprintf(out, "\n");
+    }
+
+    std::vector<std::string> _headers;
+    std::vector<std::size_t> _widths;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** printf-style float formatting helper for table cells. */
+inline std::string
+fmt(const char *format, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, format, value);
+    return buffer;
+}
+
+} // namespace dol
+
+#endif // DOL_METRICS_TABLE_HPP

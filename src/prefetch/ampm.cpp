@@ -1,0 +1,105 @@
+#include "prefetch/ampm.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace dol
+{
+
+AmpmPrefetcher::AmpmPrefetcher() : AmpmPrefetcher(Params()) {}
+
+AmpmPrefetcher::AmpmPrefetcher(const Params &params)
+    : Prefetcher("AMPM"), _params(params), _zones(params.maps)
+{
+    if (!std::has_single_bit(params.linesPerZone))
+        fatal("AMPM: linesPerZone must be a power of two");
+    _zoneBits = kLineBits +
+                static_cast<unsigned>(std::countr_zero(
+                    static_cast<std::uint32_t>(params.linesPerZone)));
+    for (Zone &zone : _zones)
+        zone.states.resize(params.linesPerZone, kInit);
+}
+
+AmpmPrefetcher::Zone &
+AmpmPrefetcher::lookupZone(std::uint64_t zone_num)
+{
+    Zone *victim = &_zones[0];
+    for (Zone &zone : _zones) {
+        if (zone.valid && zone.tag == zone_num) {
+            zone.lruStamp = ++_stamp;
+            return zone;
+        }
+        if (!zone.valid) {
+            victim = &zone;
+            break;
+        }
+        if (zone.lruStamp < victim->lruStamp)
+            victim = &zone;
+    }
+    victim->tag = zone_num;
+    victim->valid = true;
+    victim->lruStamp = ++_stamp;
+    std::fill(victim->states.begin(), victim->states.end(),
+              static_cast<std::uint8_t>(kInit));
+    return *victim;
+}
+
+void
+AmpmPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    const std::uint64_t zone_num = access.addr >> _zoneBits;
+    const int index = static_cast<int>(
+        (access.addr >> kLineBits) & (_params.linesPerZone - 1));
+
+    Zone &zone = lookupZone(zone_num);
+    zone.states[static_cast<std::size_t>(index)] = kAccessed;
+
+    if (!access.l1PrimaryMiss && !access.l1HitPrefetched)
+        return;
+
+    // Pattern match: for each stride, two prior accesses at that
+    // stride justify prefetching forward.
+    unsigned issued = 0;
+    const Addr zone_base = zone_num << _zoneBits;
+    for (unsigned k = 1;
+         k <= _params.maxStride && issued < _params.maxDegree; ++k) {
+        const bool fwd = wasAccessed(zone, index - static_cast<int>(k)) &&
+                         wasAccessed(zone, index - 2 * static_cast<int>(k));
+        if (fwd) {
+            const int target = index + static_cast<int>(k);
+            if (target < static_cast<int>(_params.linesPerZone) &&
+                zone.states[static_cast<std::size_t>(target)] == kInit) {
+                emitter.emit(zone_base +
+                                 (static_cast<Addr>(target) << kLineBits),
+                             kL1);
+                zone.states[static_cast<std::size_t>(target)] =
+                    kPrefetched;
+                ++issued;
+            }
+        }
+        const bool bwd = wasAccessed(zone, index + static_cast<int>(k)) &&
+                         wasAccessed(zone, index + 2 * static_cast<int>(k));
+        if (bwd && issued < _params.maxDegree) {
+            const int target = index - static_cast<int>(k);
+            if (target >= 0 &&
+                zone.states[static_cast<std::size_t>(target)] == kInit) {
+                emitter.emit(zone_base +
+                                 (static_cast<Addr>(target) << kLineBits),
+                             kL1);
+                zone.states[static_cast<std::size_t>(target)] =
+                    kPrefetched;
+                ++issued;
+            }
+        }
+    }
+}
+
+std::size_t
+AmpmPrefetcher::storageBits() const
+{
+    // Tag (16) + 2 bits per line per map.
+    return _zones.size() * (16 + 2 * _params.linesPerZone);
+}
+
+} // namespace dol

@@ -1,0 +1,114 @@
+#include "prefetch/bop.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+namespace
+{
+
+/** Offsets with no prime factor above 5, up to 64 (Michaud's list). */
+const int kOffsetList[] = {1, 2, 3, 4, 5, 6, 8, 9, 10, 12,
+                           15, 16, 18, 20, 24, 25, 27, 30, 32, 36,
+                           40, 45, 48, 50, 54, 60, 64};
+
+} // namespace
+
+BopPrefetcher::BopPrefetcher() : BopPrefetcher(Params()) {}
+
+BopPrefetcher::BopPrefetcher(const Params &params)
+    : Prefetcher("BOP"), _params(params),
+      _offsets(std::begin(kOffsetList), std::end(kOffsetList)),
+      _scores(_offsets.size(), 0),
+      _rr(params.rrEntries, kNoAddr)
+{}
+
+bool
+BopPrefetcher::rrContains(Addr line_addr) const
+{
+    return _rr[lineNum(line_addr) % _rr.size()] == lineAddr(line_addr);
+}
+
+void
+BopPrefetcher::rrInsert(Addr line_addr)
+{
+    _rr[lineNum(line_addr) % _rr.size()] = lineAddr(line_addr);
+}
+
+void
+BopPrefetcher::advanceLearning(Addr line_addr)
+{
+    // Test the current candidate offset against this trigger access.
+    const int offset = _offsets[_candidate];
+    const Addr base = line_addr - static_cast<Addr>(offset) * kLineBytes;
+    if (rrContains(base)) {
+        if (++_scores[_candidate] >= _params.scoreMax) {
+            // Early winner: adopt it and start a new phase.
+            _bestOffset = offset;
+            _enabled = true;
+            std::fill(_scores.begin(), _scores.end(), 0);
+            _candidate = 0;
+            _round = 0;
+            return;
+        }
+    }
+
+    if (++_candidate >= _offsets.size()) {
+        _candidate = 0;
+        if (++_round >= _params.roundMax) {
+            // Phase over: adopt the best scoring offset.
+            const auto best_it =
+                std::max_element(_scores.begin(), _scores.end());
+            const unsigned best_score = *best_it;
+            _bestOffset = _offsets[static_cast<std::size_t>(
+                best_it - _scores.begin())];
+            _enabled = best_score > _params.badScore;
+            std::fill(_scores.begin(), _scores.end(), 0);
+            _round = 0;
+        }
+    }
+}
+
+void
+BopPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    // BOP triggers on L1 misses and on hits to prefetched lines.
+    if (!access.l1PrimaryMiss && !access.l1HitPrefetched)
+        return;
+
+    const Addr line = access.line();
+    advanceLearning(line);
+
+    if (_enabled) {
+        emitter.emit(line + static_cast<Addr>(_bestOffset) * kLineBytes,
+                     kL1);
+    } else {
+        // Degenerate mode: BOP still records the access so learning
+        // can resume, but issues nothing.
+        rrInsert(line);
+    }
+}
+
+void
+BopPrefetcher::onFill(ComponentId comp, Addr line_addr, Cycle completion,
+                      PrefetchEmitter &emitter)
+{
+    (void)completion;
+    (void)emitter;
+    if (comp != id())
+        return;
+    // Insert the *base* address (fill minus current offset), so a hit
+    // in RR means "a prefetch with this offset would have completed".
+    rrInsert(line_addr - static_cast<Addr>(_bestOffset) * kLineBytes);
+}
+
+std::size_t
+BopPrefetcher::storageBits() const
+{
+    // RR: 12-bit partial tags; scores: 5 bits per offset; prefetch
+    // bits per Table II: 1 Kb.
+    return _rr.size() * 12 + _scores.size() * 5 + 1024;
+}
+
+} // namespace dol

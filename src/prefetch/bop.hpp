@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BOP: Best-Offset Prefetcher (Michaud, HPCA 2016).
+ *
+ * A learning phase scores candidate offsets against a Recent Requests
+ * table: offset d scores a point when, for a miss on line X, line X-d
+ * was recently fetched (meaning a prefetch with offset d would have
+ * been timely). At the end of a round the best-scoring offset becomes
+ * the prefetch offset. Table II configuration: 1K-entry RR table,
+ * 1 Kb of prefetch bits (4 KB total).
+ */
+
+#ifndef DOL_PREFETCH_BOP_HPP
+#define DOL_PREFETCH_BOP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class BopPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned rrEntries = 1024;
+        unsigned scoreMax = 31;   ///< early-exit score
+        unsigned roundMax = 100;  ///< rounds per learning phase
+        unsigned badScore = 10;   ///< below this, prefetch disabled
+    };
+
+    BopPrefetcher();
+    explicit BopPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    void onFill(ComponentId comp, Addr line_addr, Cycle completion,
+                PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    int currentOffset() const { return _bestOffset; }
+
+  private:
+    bool rrContains(Addr line_addr) const;
+    void rrInsert(Addr line_addr);
+    void advanceLearning(Addr line_addr);
+
+    Params _params;
+    /** Michaud's offset list: products of small primes up to 64. */
+    std::vector<int> _offsets;
+    std::vector<unsigned> _scores;
+    std::vector<Addr> _rr;
+
+    unsigned _candidate = 0; ///< offset index tested this step
+    unsigned _round = 0;
+    int _bestOffset = 1;
+    bool _enabled = true;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_BOP_HPP

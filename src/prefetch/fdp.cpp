@@ -1,0 +1,141 @@
+#include "prefetch/fdp.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+FdpPrefetcher::FdpPrefetcher() : FdpPrefetcher(Params()) {}
+
+FdpPrefetcher::FdpPrefetcher(const Params &params)
+    : Prefetcher("FDP"), _params(params), _streams(params.streams)
+{}
+
+FdpPrefetcher::Stream *
+FdpPrefetcher::findStream(Addr line_addr)
+{
+    // A miss belongs to a stream when it lands within the training
+    // window ahead of (or behind) the stream's last address.
+    const auto line = static_cast<std::int64_t>(lineNum(line_addr));
+    Stream *best = nullptr;
+    std::int64_t best_gap = 0;
+    for (Stream &stream : _streams) {
+        if (stream.lastLine == kNoAddr)
+            continue;
+        const auto last =
+            static_cast<std::int64_t>(lineNum(stream.lastLine));
+        const std::int64_t gap = line - last;
+        const std::int64_t window = 16;
+        if (gap == 0 || gap > window || gap < -window)
+            continue;
+        if (stream.direction != 0 &&
+            ((gap > 0) != (stream.direction > 0))) {
+            continue;
+        }
+        if (!best || std::abs(gap) < std::abs(best_gap)) {
+            best = &stream;
+            best_gap = gap;
+        }
+    }
+    return best;
+}
+
+FdpPrefetcher::Stream &
+FdpPrefetcher::allocateStream(Addr line_addr)
+{
+    Stream *victim = &_streams[0];
+    for (Stream &stream : _streams) {
+        if (stream.lastLine == kNoAddr) {
+            victim = &stream;
+            break;
+        }
+        if (stream.lruStamp < victim->lruStamp)
+            victim = &stream;
+    }
+    *victim = Stream{};
+    victim->lastLine = lineAddr(line_addr);
+    victim->lruStamp = ++_stamp;
+    return *victim;
+}
+
+void
+FdpPrefetcher::sampleFeedback()
+{
+    // Thresholds follow the spirit of the paper's high/low accuracy
+    // split (late-prefetch handling folds into the accuracy knob).
+    const double accuracy =
+        _issuedWindow ? static_cast<double>(_usedWindow) / _issuedWindow
+                      : 1.0;
+    if (accuracy > 0.75) {
+        _degree = std::min(_degree + 1, _params.maxDegree);
+        _distance = std::min(_distance * 2, _params.maxDistance);
+    } else if (accuracy < 0.40) {
+        _degree = std::max(_degree - 1, _params.minDegree);
+        _distance = std::max(_distance / 2, 1u);
+    }
+    _issuedWindow = 0;
+    _usedWindow = 0;
+    _pollutionWindow = 0;
+}
+
+void
+FdpPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    if (access.l1HitPrefetched)
+        ++_usedWindow;
+
+    if (++_events % _params.sampleInterval == 0)
+        sampleFeedback();
+
+    if (!access.l1PrimaryMiss)
+        return;
+
+    const Addr line = access.line();
+    Stream *stream = findStream(line);
+    if (!stream) {
+        allocateStream(line);
+        return;
+    }
+
+    stream->lruStamp = ++_stamp;
+    const auto gap = static_cast<std::int64_t>(lineNum(line)) -
+                     static_cast<std::int64_t>(lineNum(stream->lastLine));
+    const int direction = gap > 0 ? 1 : -1;
+    if (stream->direction == 0) {
+        stream->direction = direction;
+        stream->confirmations = 1;
+    } else if (stream->direction == direction) {
+        ++stream->confirmations;
+    }
+    stream->lastLine = line;
+    if (stream->confirmations >= 2)
+        stream->trained = true;
+
+    if (!stream->trained)
+        return;
+
+    // Issue degree prefetches starting at the current distance.
+    for (unsigned i = 1; i <= _degree; ++i) {
+        const std::int64_t target_line =
+            static_cast<std::int64_t>(lineNum(line)) +
+            stream->direction *
+                static_cast<std::int64_t>(_distance + i - 1);
+        if (target_line < 0)
+            break;
+        const auto outcome =
+            emitter.emit(static_cast<Addr>(target_line) << kLineBits,
+                         kL1);
+        if (outcome == PrefetchOutcome::kIssued)
+            ++_issuedWindow;
+    }
+}
+
+std::size_t
+FdpPrefetcher::storageBits() const
+{
+    // Streams: last line (32) + direction (2) + confirmations (4);
+    // plus the Table II tag array (1 Kb) and Bloom filter (8 Kb).
+    return _streams.size() * (32 + 2 + 4) + 1024 + _params.bloomBits;
+}
+
+} // namespace dol

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * FDP: Feedback-Directed Prefetching (Srinath et al., HPCA 2007).
+ *
+ * A stream prefetcher whose aggressiveness (degree and distance) is
+ * throttled by runtime feedback: measured prefetch accuracy, lateness,
+ * and cache pollution (tracked with a Bloom filter of evicted-by-
+ * prefetch lines). Table II configuration: 64 streams, 1 Kb tag array,
+ * 8 Kb Bloom filter (2.5 KB).
+ */
+
+#ifndef DOL_PREFETCH_FDP_HPP
+#define DOL_PREFETCH_FDP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class FdpPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned streams = 64;
+        unsigned bloomBits = 8192;
+        /** Feedback sampling interval, in training events. */
+        unsigned sampleInterval = 2048;
+        unsigned maxDegree = 4;
+        unsigned minDegree = 1;
+        unsigned maxDistance = 16;
+    };
+
+    FdpPrefetcher();
+    explicit FdpPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    unsigned currentDegree() const { return _degree; }
+
+  private:
+    struct Stream
+    {
+        Addr lastLine = kNoAddr; ///< most recent miss in the stream
+        int direction = 0;       ///< +1 ascending, -1 descending, 0 new
+        unsigned confirmations = 0;
+        bool trained = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Stream *findStream(Addr line_addr);
+    Stream &allocateStream(Addr line_addr);
+    void sampleFeedback();
+
+    Params _params;
+    std::vector<Stream> _streams;
+    std::uint64_t _stamp = 0;
+
+    unsigned _degree = 2;
+    unsigned _distance = 4;
+
+    // Feedback counters over the current sampling window. "Used" is
+    // approximated by demand hits on prefetched lines, which in a
+    // monolithic configuration are this prefetcher's own lines.
+    std::uint64_t _issuedWindow = 0;
+    std::uint64_t _usedWindow = 0;
+    std::uint64_t _pollutionWindow = 0;
+    std::uint64_t _events = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_FDP_HPP

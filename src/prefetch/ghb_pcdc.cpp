@@ -1,0 +1,99 @@
+#include "prefetch/ghb_pcdc.hpp"
+
+#include <array>
+
+namespace dol
+{
+
+bool
+GhbPcdcPrefetcher::linkValid(std::uint32_t link,
+                             std::uint64_t expected_seq) const
+{
+    return link != kNoLink && link < _ghb.size() &&
+           _ghb[link].seq == expected_seq;
+}
+
+void
+GhbPcdcPrefetcher::train(const AccessInfo &access,
+                         PrefetchEmitter &emitter)
+{
+    if (!access.l1PrimaryMiss)
+        return;
+    const Addr line = access.line();
+
+    // Insert into the GHB, linking to the previous miss of this PC.
+    IndexEntry &idx = _index[access.pc % _index.size()];
+    std::uint32_t prev_link = kNoLink;
+    std::uint64_t prev_seq = 0;
+    if (idx.valid && idx.pc == access.pc) {
+        prev_link = idx.head;
+        prev_seq = idx.headSeq;
+    }
+
+    const std::uint32_t slot = _head;
+    _head = (_head + 1) % _ghb.size();
+    ++_seq;
+    _ghb[slot] = GhbEntry{line, prev_link, _seq};
+    _ghbPrevSeq[slot] = prev_seq;
+
+    idx.valid = true;
+    idx.pc = access.pc;
+    idx.head = slot;
+    idx.headSeq = _seq;
+
+    // Recover the last few addresses of this PC's chain and convert
+    // them to deltas (newest first).
+    std::array<Addr, 9> history{};
+    unsigned depth = 0;
+    std::uint32_t walk = slot;
+    std::uint64_t expect = _seq;
+    while (depth < history.size() && walk != kNoLink &&
+           _ghb[walk].seq == expect) {
+        history[depth++] = _ghb[walk].lineAddr;
+        expect = _ghbPrevSeq[walk];
+        walk = _ghb[walk].prev;
+        if (expect == 0)
+            break;
+    }
+    if (depth < 3)
+        return;
+
+    std::array<std::int64_t, 8> deltas{};
+    const unsigned num_deltas = depth - 1;
+    for (unsigned i = 0; i < num_deltas; ++i) {
+        deltas[i] = static_cast<std::int64_t>(history[i]) -
+                    static_cast<std::int64_t>(history[i + 1]);
+    }
+
+    // Delta correlation: find the most recent earlier occurrence of
+    // the newest delta pair and replay the deltas that followed it.
+    // No correlation, no prefetch — that is what keeps PC/DC quiet on
+    // patternless streams.
+    const std::int64_t d1 = deltas[0];
+    const std::int64_t d2 = num_deltas >= 2 ? deltas[1] : 0;
+    if (d1 == 0)
+        return;
+
+    unsigned match = 0;
+    for (unsigned j = 1; j + 1 < num_deltas; ++j) {
+        if (deltas[j] == d1 && deltas[j + 1] == d2) {
+            match = j;
+            break;
+        }
+    }
+    if (match == 0)
+        return;
+
+    Addr next = history[0];
+    for (unsigned i = 0; i < _degree; ++i) {
+        // Replay the deltas that followed the earlier occurrence
+        // (deltas[match-1], deltas[match-2], ...), wrapping on the
+        // matched period.
+        const unsigned idx = match - 1 - (i % match);
+        next = static_cast<Addr>(static_cast<std::int64_t>(next) +
+                                 deltas[idx]);
+        emitter.emit(next, kL1);
+    }
+}
+
+} // namespace dol

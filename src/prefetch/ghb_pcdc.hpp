@@ -1,0 +1,78 @@
+/**
+ * @file
+ * GHB PC/DC prefetcher (Nesbit & Smith, HPCA 2004).
+ *
+ * A Global History Buffer holds the L1 miss stream as a circular
+ * buffer; an index table links together the misses of each PC. On a
+ * miss, the last few addresses of the triggering PC are recovered from
+ * the chain, converted to deltas, and delta correlation predicts the
+ * next addresses. Table II configuration: 256-entry GHB, 256-entry
+ * index table (4 KB).
+ */
+
+#ifndef DOL_PREFETCH_GHB_PCDC_HPP
+#define DOL_PREFETCH_GHB_PCDC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class GhbPcdcPrefetcher : public Prefetcher
+{
+  public:
+    explicit GhbPcdcPrefetcher(unsigned ghb_entries = 256,
+                               unsigned index_entries = 256,
+                               unsigned degree = 4)
+        : Prefetcher("GHB-PC/DC"), _degree(degree),
+          _ghb(ghb_entries), _index(index_entries)
+    {}
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t
+    storageBits() const override
+    {
+        // GHB entry: line address (32) + link pointer (log2 entries);
+        // index entry: PC tag (16) + head pointer.
+        const std::size_t link = 8;
+        return _ghb.size() * (32 + link) + _index.size() * (16 + link);
+    }
+
+  private:
+    struct GhbEntry
+    {
+        Addr lineAddr = kNoAddr;
+        std::uint32_t prev = kNoLink; ///< previous miss of the same PC
+        std::uint64_t seq = 0;        ///< global insertion number
+    };
+
+    struct IndexEntry
+    {
+        Pc pc = 0;
+        std::uint32_t head = kNoLink;
+        std::uint64_t headSeq = 0;
+        bool valid = false;
+    };
+
+    static constexpr std::uint32_t kNoLink = 0xffffffff;
+
+    /** True when the link still points at the miss it was made for. */
+    bool linkValid(std::uint32_t link, std::uint64_t expected_seq) const;
+
+    unsigned _degree;
+    std::vector<GhbEntry> _ghb;
+    /** Sequence number each entry's prev link was created against. */
+    std::vector<std::uint64_t> _ghbPrevSeq =
+        std::vector<std::uint64_t>(_ghb.size(), 0);
+    std::vector<IndexEntry> _index;
+    std::uint32_t _head = 0;
+    std::uint64_t _seq = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_GHB_PCDC_HPP

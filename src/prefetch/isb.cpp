@@ -1,0 +1,93 @@
+#include "prefetch/isb.hpp"
+
+namespace dol
+{
+
+IsbPrefetcher::IsbPrefetcher() : IsbPrefetcher(Params()) {}
+
+IsbPrefetcher::IsbPrefetcher(const Params &params)
+    : Prefetcher("ISB"), _params(params)
+{}
+
+Addr
+IsbPrefetcher::structuralOf(Addr line_addr) const
+{
+    const auto it = _psMap.find(lineAddr(line_addr));
+    return it == _psMap.end() ? kNoAddr : it->second;
+}
+
+Addr
+IsbPrefetcher::allocateStructural()
+{
+    // New streams start on a fresh chunk so unrelated streams never
+    // blend in structural space.
+    const Addr structural = _nextStructural;
+    _nextStructural += _params.streamChunk;
+    return structural;
+}
+
+void
+IsbPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    if (!access.l1PrimaryMiss)
+        return;
+    const Addr line = access.line();
+
+    if (_psMap.size() > _params.maxMappings) {
+        // Finite translation storage: a full structure restarts
+        // training (modelling wholesale eviction).
+        _psMap.clear();
+        _spMap.clear();
+        _lastMiss.clear();
+    }
+
+    // Training: give consecutive structural addresses to consecutive
+    // misses of the same PC.
+    const auto last_it = _lastMiss.find(access.pc);
+    if (last_it != _lastMiss.end() && last_it->second != line) {
+        const Addr prev = last_it->second;
+        auto prev_ps = _psMap.find(prev);
+        if (prev_ps == _psMap.end()) {
+            const Addr structural = allocateStructural();
+            prev_ps = _psMap.emplace(prev, structural).first;
+            _spMap[structural] = prev;
+        }
+        const Addr next_structural = prev_ps->second + 1;
+        // Chunk boundaries end a stream; established mappings and
+        // occupied slots are left alone (remapping on every revisit
+        // would tear chains apart at their wrap-around edges).
+        if (next_structural % _params.streamChunk != 0 &&
+            !_psMap.contains(line) &&
+            !_spMap.contains(next_structural)) {
+            _psMap[line] = next_structural;
+            _spMap[next_structural] = line;
+        }
+    }
+    _lastMiss[access.pc] = line;
+
+    // Prediction: walk forward in structural space.
+    const auto ps = _psMap.find(line);
+    if (ps == _psMap.end())
+        return;
+    for (unsigned k = 1; k <= _params.degree; ++k) {
+        const Addr structural = ps->second + k;
+        if (structural % _params.streamChunk <
+            ps->second % _params.streamChunk) {
+            break; // crossed a chunk boundary
+        }
+        const auto sp = _spMap.find(structural);
+        if (sp == _spMap.end())
+            break;
+        emitter.emit(sp->second, kL1);
+    }
+}
+
+std::size_t
+IsbPrefetcher::storageBits() const
+{
+    // Modelled as the on-chip caches of the PS/SP maps (the full maps
+    // live off-chip in the real design): 8 KB on-chip budget.
+    return 8 * 1024 * 8;
+}
+
+} // namespace dol

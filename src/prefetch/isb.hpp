@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ISB: Irregular Stream Buffer (Jain & Lin, MICRO 2013), the
+ * reduced-storage Markov variant the paper's related work discusses.
+ *
+ * Correlated miss addresses are assigned consecutive *structural*
+ * addresses; a physical-to-structural (PS) map and its inverse (SP)
+ * translate between the spaces. Irregular-but-repeating sequences
+ * become sequential streams in structural space, where a trivial
+ * next-k prefetcher runs.
+ */
+
+#ifndef DOL_PREFETCH_ISB_HPP
+#define DOL_PREFETCH_ISB_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class IsbPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned degree = 3;       ///< structural lookahead
+        std::size_t maxMappings = 1u << 16; ///< PS/SP capacity
+        /** Structural addresses per stream region. */
+        unsigned streamChunk = 256;
+    };
+
+    IsbPrefetcher();
+    explicit IsbPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    /** Test hook: structural address of a line (kNoAddr if unmapped). */
+    Addr structuralOf(Addr line_addr) const;
+
+  private:
+    Addr allocateStructural();
+
+    Params _params;
+    /** Per-PC training context: the previous miss line of that PC. */
+    std::unordered_map<Pc, Addr> _lastMiss;
+    std::unordered_map<Addr, Addr> _psMap; ///< physical -> structural
+    std::unordered_map<Addr, Addr> _spMap; ///< structural -> physical
+    Addr _nextStructural = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_ISB_HPP

@@ -1,0 +1,62 @@
+#include "prefetch/markov.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+MarkovPrefetcher::MarkovPrefetcher() : MarkovPrefetcher(Params()) {}
+
+MarkovPrefetcher::MarkovPrefetcher(const Params &params)
+    : Prefetcher("Markov"), _params(params), _table(params.entries)
+{
+    for (Row &row : _table)
+        row.successors.reserve(params.ways);
+}
+
+void
+MarkovPrefetcher::train(const AccessInfo &access,
+                        PrefetchEmitter &emitter)
+{
+    if (!access.l1PrimaryMiss)
+        return;
+    const Addr line = access.line();
+
+    // Record this miss as the successor of the previous one.
+    if (_lastMissLine != kNoAddr && _lastMissLine != line) {
+        Row &row = _table[lineNum(_lastMissLine) % _table.size()];
+        if (row.tag != _lastMissLine) {
+            row.tag = _lastMissLine;
+            row.successors.clear();
+        }
+        auto it = std::find(row.successors.begin(),
+                            row.successors.end(), line);
+        if (it != row.successors.end())
+            row.successors.erase(it);
+        row.successors.insert(row.successors.begin(), line);
+        if (row.successors.size() > _params.ways)
+            row.successors.pop_back();
+    }
+    _lastMissLine = line;
+
+    // Predict: prefetch the remembered successors of this line.
+    const Row &row = _table[lineNum(line) % _table.size()];
+    if (row.tag == line) {
+        unsigned issued = 0;
+        for (Addr successor : row.successors) {
+            if (issued++ >= _params.degree)
+                break;
+            emitter.emit(successor, kL1);
+        }
+    }
+}
+
+std::size_t
+MarkovPrefetcher::storageBits() const
+{
+    // Tag (26) + ways x successor (26 each). The paper's point about
+    // Markov prefetchers: this is a lot of storage (here ~40 KB).
+    return _table.size() * (26 + _params.ways * 26);
+}
+
+} // namespace dol

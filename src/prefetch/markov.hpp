@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA 1997) — one of the
+ * irregular-pattern baselines the paper's related-work section builds
+ * on. A correlation table maps each miss line address to the most
+ * recent successor lines observed after it; on a miss, the stored
+ * successors are prefetched.
+ */
+
+#ifndef DOL_PREFETCH_MARKOV_HPP
+#define DOL_PREFETCH_MARKOV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned entries = 4096; ///< correlation table rows
+        unsigned ways = 2;       ///< successors kept per row
+        unsigned degree = 2;     ///< successors prefetched per miss
+    };
+
+    MarkovPrefetcher();
+    explicit MarkovPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+  private:
+    struct Row
+    {
+        Addr tag = kNoAddr;
+        std::vector<Addr> successors; ///< MRU first
+    };
+
+    Params _params;
+    std::vector<Row> _table;
+    Addr _lastMissLine = kNoAddr;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_MARKOV_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Next-N-line prefetcher (Jouppi-style stream buffer degenerate case).
+ * Used as the simplest baseline and as a building block in tests.
+ */
+
+#ifndef DOL_PREFETCH_NEXT_LINE_HPP
+#define DOL_PREFETCH_NEXT_LINE_HPP
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1,
+                                bool on_miss_only = true)
+        : Prefetcher("NextLine"), _degree(degree),
+          _onMissOnly(on_miss_only)
+    {}
+
+    void
+    train(const AccessInfo &access, PrefetchEmitter &emitter) override
+    {
+        if (_onMissOnly && !access.l1PrimaryMiss)
+            return;
+        for (unsigned i = 1; i <= _degree; ++i)
+            emitter.emit(access.line() + i * kLineBytes, kL1);
+    }
+
+    /** Stateless: a couple of config registers at most. */
+    std::size_t storageBits() const override { return 16; }
+
+  private:
+    unsigned _degree;
+    bool _onMissOnly;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_NEXT_LINE_HPP

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The prefetcher component interface.
+ *
+ * A Prefetcher observes the demand access stream (train) and, for the
+ * paper's instruction-based components, the full retire stream
+ * (onInstr) and prefetch fill completions (onFill). Prefetches are
+ * issued through a PrefetchEmitter, which binds the component identity
+ * and the current cycle and lets the harness override the destination
+ * level (the Figure 16 experiment).
+ */
+
+#ifndef DOL_PREFETCH_PREFETCHER_HPP
+#define DOL_PREFETCH_PREFETCHER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "cpu/core.hpp"
+#include "cpu/instr.hpp"
+#include "mem/memory_system.hpp"
+
+namespace dol
+{
+
+/** One demand access as seen by the prefetchers (post L1 lookup). */
+struct AccessInfo
+{
+    Pc pc = 0;
+    /** Call-site-disambiguated PC: pc ^ RAS.top (paper IV-A.2). */
+    Pc mPc = 0;
+    Addr addr = 0; ///< byte address
+    bool isLoad = true;
+    bool l1Hit = false;
+    bool l1PrimaryMiss = false;
+    bool l1HitPrefetched = false;
+    /** Component whose prefetch the L1 hit landed on (0 = none). */
+    ComponentId l1HitComp = kNoComponent;
+    bool l2Hit = false;
+    bool l3Hit = false;
+    std::uint64_t value = 0; ///< value returned (loads)
+    Cycle when = 0;          ///< cycle the access issued
+    Cycle completion = 0;    ///< cycle the value arrived
+
+    Addr line() const { return lineAddr(addr); }
+};
+
+/**
+ * Issues prefetches on behalf of one component. The harness sets the
+ * context (component id + current cycle) before every training call.
+ */
+class PrefetchEmitter
+{
+  public:
+    explicit PrefetchEmitter(MemorySystem &mem) : _mem(&mem) {}
+
+    void
+    setContext(ComponentId comp, Cycle when)
+    {
+        _comp = comp;
+        _when = when;
+    }
+
+    /** Force all prefetches to one level (Figure 16 sweeps). */
+    void forceDestLevel(std::optional<unsigned> level) { _force = level; }
+    std::optional<unsigned> forcedDestLevel() const { return _force; }
+
+    /**
+     * Oracle destination policy (Figure 16's "stratified" bars): maps
+     * (target address, natural destination) to the level to use.
+     */
+    using DestOracle = std::function<unsigned(Addr, unsigned)>;
+    void setDestOracle(DestOracle oracle) { _oracle = std::move(oracle); }
+
+    PrefetchOutcome
+    emit(Addr addr, unsigned dest_level = kL1, std::uint8_t priority = 1)
+    {
+        return account(_mem->prefetch(addr,
+                                      resolveDest(addr, dest_level),
+                                      _comp, _when, priority));
+    }
+
+    /** Issue at an explicit time (P1's chained fills). */
+    PrefetchOutcome
+    emitAt(Addr addr, Cycle when, unsigned dest_level = kL1,
+           std::uint8_t priority = 1)
+    {
+        return account(_mem->prefetch(addr,
+                                      resolveDest(addr, dest_level),
+                                      _comp, when, priority));
+    }
+
+    ComponentId component() const { return _comp; }
+    Cycle now() const { return _when; }
+
+    /** Running count of prefetches that actually issued (for the
+     *  adaptive coordinator's accuracy bookkeeping). */
+    std::uint64_t issuedCount() const { return _issuedCount; }
+
+  private:
+    unsigned
+    resolveDest(Addr addr, unsigned dest_level) const
+    {
+        if (_oracle)
+            return _oracle(addr, dest_level);
+        return _force.value_or(dest_level);
+    }
+
+    PrefetchOutcome
+    account(PrefetchOutcome outcome)
+    {
+        if (outcome == PrefetchOutcome::kIssued)
+            ++_issuedCount;
+        return outcome;
+    }
+
+    MemorySystem *_mem;
+    ComponentId _comp = kNoComponent;
+    Cycle _when = 0;
+    std::optional<unsigned> _force;
+    DestOracle _oracle;
+    std::uint64_t _issuedCount = 0;
+};
+
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(std::string name) : _name(std::move(name)) {}
+    virtual ~Prefetcher() = default;
+
+    Prefetcher(const Prefetcher &) = delete;
+    Prefetcher &operator=(const Prefetcher &) = delete;
+
+    /** Train on one demand access (loads and stores at L1). */
+    virtual void train(const AccessInfo &access,
+                       PrefetchEmitter &emitter) = 0;
+
+    /**
+     * Observe one retired instruction (all classes). Components that
+     * watch branches or register dependences (T2, P1) override this;
+     * cache-access-pattern prefetchers do not need to.
+     *
+     * @param m_pc call-site-disambiguated PC (pc ^ RAS.top)
+     */
+    virtual void
+    onInstr(const Instr &instr, const RetireInfo &retire, Pc m_pc,
+            PrefetchEmitter &emitter)
+    {
+        (void)instr; (void)retire; (void)m_pc; (void)emitter;
+    }
+
+    /** A prefetch issued by component @p comp filled at @p completion. */
+    virtual void
+    onFill(ComponentId comp, Addr line_addr, Cycle completion,
+           PrefetchEmitter &emitter)
+    {
+        (void)comp; (void)line_addr; (void)completion; (void)emitter;
+    }
+
+    /** Hardware budget of the design, in bits (Table II). */
+    virtual std::size_t storageBits() const = 0;
+
+    /**
+     * Allocate component identities. Monolithic prefetchers take one
+     * id; composites override this to give every sub-component its
+     * own, so metrics can attribute each prefetch.
+     */
+    using IdAllocator =
+        std::function<ComponentId(const std::string &name)>;
+
+    virtual void
+    assignIds(const IdAllocator &alloc)
+    {
+        setId(alloc(name()));
+    }
+
+    const std::string &name() const { return _name; }
+
+    ComponentId id() const { return _id; }
+    void setId(ComponentId id) { _id = id; }
+
+  private:
+    std::string _name;
+    ComponentId _id = kNoComponent;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_PREFETCHER_HPP

@@ -1,0 +1,118 @@
+#include "prefetch/sms.hpp"
+
+#include <bit>
+
+namespace dol
+{
+
+SmsPrefetcher::SmsPrefetcher() : SmsPrefetcher(Params()) {}
+
+SmsPrefetcher::SmsPrefetcher(const Params &params)
+    : Prefetcher("SMS"), _params(params),
+      _accumulation(params.accumulationEntries),
+      _filter(params.filterEntries),
+      _pht(params.phtEntries)
+{}
+
+void
+SmsPrefetcher::endGeneration(ActiveRegion &entry)
+{
+    if (!entry.valid)
+        return;
+    // Record footprints with at least two lines; single-line regions
+    // carry no spatial information.
+    if (std::popcount(entry.pattern) >= 2) {
+        PhtEntry &slot = _pht[entry.key % _pht.size()];
+        slot.key = entry.key;
+        slot.pattern = entry.pattern;
+        slot.valid = true;
+    }
+    entry.valid = false;
+}
+
+void
+SmsPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    const std::uint64_t region = regionOf(access.addr);
+    const unsigned offset = offsetOf(access.addr);
+    const Pattern bit = Pattern{1} << offset;
+
+    // Already accumulating this region?
+    for (ActiveRegion &entry : _accumulation) {
+        if (entry.valid && entry.region == region) {
+            entry.pattern |= bit;
+            entry.lruStamp = ++_stamp;
+            return;
+        }
+    }
+
+    // In the filter (seen exactly once)? Promote to the AT.
+    for (ActiveRegion &entry : _filter) {
+        if (entry.valid && entry.region == region) {
+            ActiveRegion promoted = entry;
+            entry.valid = false;
+            promoted.pattern |= bit;
+            promoted.lruStamp = ++_stamp;
+
+            ActiveRegion *victim = &_accumulation[0];
+            for (ActiveRegion &slot : _accumulation) {
+                if (!slot.valid) {
+                    victim = &slot;
+                    break;
+                }
+                if (slot.lruStamp < victim->lruStamp)
+                    victim = &slot;
+            }
+            endGeneration(*victim); // capacity eviction ends it
+            *victim = promoted;
+            victim->valid = true;
+            return;
+        }
+    }
+
+    // Brand-new region: this access is the trigger. Predict from the
+    // PHT, then start tracking a new generation in the filter.
+    if (access.l1PrimaryMiss) {
+        const std::uint64_t key = keyOf(access.pc, offset);
+        const PhtEntry &slot = _pht[key % _pht.size()];
+        if (slot.valid && slot.key == key) {
+            const Addr base = region << _params.regionBits;
+            for (unsigned i = 0; i < linesPerRegion(); ++i) {
+                if (i != offset && (slot.pattern >> i) & 1) {
+                    emitter.emit(base +
+                                     (static_cast<Addr>(i) << kLineBits),
+                                 kL1);
+                }
+            }
+        }
+    }
+
+    ActiveRegion *victim = &_filter[0];
+    for (ActiveRegion &slot : _filter) {
+        if (!slot.valid) {
+            victim = &slot;
+            break;
+        }
+        if (slot.lruStamp < victim->lruStamp)
+            victim = &slot;
+    }
+    *victim = ActiveRegion{};
+    victim->region = region;
+    victim->key = keyOf(access.pc, offset);
+    victim->pattern = bit;
+    victim->valid = true;
+    victim->lruStamp = ++_stamp;
+}
+
+std::size_t
+SmsPrefetcher::storageBits() const
+{
+    const unsigned pattern_bits = linesPerRegion();
+    // AT/FR: region tag (26) + key (16) + pattern; PHT: key tag (16) +
+    // pattern.
+    return _accumulation.size() * (26 + 16 + pattern_bits) +
+           _filter.size() * (26 + 16 + pattern_bits) +
+           _pht.size() * (16 + pattern_bits);
+}
+
+} // namespace dol

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SMS: Spatial Memory Streaming (Somogyi et al., ISCA 2006).
+ *
+ * Tracks the footprint (bit pattern of touched lines) of each active
+ * spatial region generation, indexed by the trigger instruction's
+ * PC-and-offset; when a generation ends, the pattern is stored in a
+ * Pattern History Table. A later trigger by the same PC/offset replays
+ * the whole recorded footprint as prefetches. Table II configuration:
+ * 64-entry accumulation table, 32-entry filter table, 512-entry PHT
+ * (12 KB).
+ */
+
+#ifndef DOL_PREFETCH_SMS_HPP
+#define DOL_PREFETCH_SMS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class SmsPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned accumulationEntries = 64;
+        unsigned filterEntries = 32;
+        unsigned phtEntries = 512;
+        /** Spatial region: 2 KB = 32 cache lines. */
+        unsigned regionBits = 11;
+    };
+
+    SmsPrefetcher();
+    explicit SmsPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+  private:
+    using Pattern = std::uint32_t;
+
+    unsigned linesPerRegion() const
+    {
+        return 1u << (_params.regionBits - kLineBits);
+    }
+
+    std::uint64_t regionOf(Addr addr) const
+    {
+        return addr >> _params.regionBits;
+    }
+
+    unsigned offsetOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> kLineBits) &
+                                     (linesPerRegion() - 1));
+    }
+
+    /** PHT index: trigger PC xor trigger offset (the SMS key). */
+    std::uint64_t keyOf(Pc pc, unsigned offset) const
+    {
+        return pc ^ offset;
+    }
+
+    struct ActiveRegion
+    {
+        std::uint64_t region = ~std::uint64_t{0};
+        std::uint64_t key = 0; ///< trigger PC/offset key
+        Pattern pattern = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct PhtEntry
+    {
+        std::uint64_t key = ~std::uint64_t{0};
+        Pattern pattern = 0;
+        bool valid = false;
+    };
+
+    void endGeneration(ActiveRegion &entry);
+
+    Params _params;
+    std::vector<ActiveRegion> _accumulation;
+    std::vector<ActiveRegion> _filter; ///< single-access regions
+    std::vector<PhtEntry> _pht;
+    std::uint64_t _stamp = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_SMS_HPP

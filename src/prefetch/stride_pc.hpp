@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Classic per-PC stride prefetcher (Chen & Baer style reference point
+ * table). Not part of the paper's evaluated set, but a useful simple
+ * baseline for tests and examples.
+ */
+
+#ifndef DOL_PREFETCH_STRIDE_PC_HPP
+#define DOL_PREFETCH_STRIDE_PC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class StridePcPrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePcPrefetcher(unsigned entries = 64,
+                                unsigned degree = 2)
+        : Prefetcher("StridePC"), _degree(degree), _table(entries)
+    {}
+
+    void
+    train(const AccessInfo &access, PrefetchEmitter &emitter) override
+    {
+        if (!access.isLoad)
+            return;
+        Entry &entry = _table[access.pc % _table.size()];
+        if (entry.pc != access.pc) {
+            entry = Entry{};
+            entry.pc = access.pc;
+            entry.lastAddr = access.addr;
+            return;
+        }
+        const std::int64_t delta =
+            static_cast<std::int64_t>(access.addr) -
+            static_cast<std::int64_t>(entry.lastAddr);
+        if (delta == entry.stride && delta != 0)
+            entry.conf.increment();
+        else
+            entry.conf.decrement();
+        entry.stride = delta;
+        entry.lastAddr = access.addr;
+
+        if (entry.conf.value() >= 2 && entry.stride != 0) {
+            for (unsigned i = 1; i <= _degree; ++i) {
+                emitter.emit(access.addr + entry.stride *
+                                               static_cast<std::int64_t>(i),
+                             kL1);
+            }
+        }
+    }
+
+    std::size_t
+    storageBits() const override
+    {
+        // pc tag (16) + last addr (32) + stride (16) + conf (2)
+        return _table.size() * (16 + 32 + 16 + 2);
+    }
+
+  private:
+    struct Entry
+    {
+        Pc pc = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        SatCounter conf{3};
+    };
+
+    unsigned _degree;
+    std::vector<Entry> _table;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_STRIDE_PC_HPP

@@ -1,0 +1,178 @@
+#include "prefetch/vldp.hpp"
+
+#include <algorithm>
+
+namespace dol
+{
+
+VldpPrefetcher::VldpPrefetcher() : VldpPrefetcher(Params()) {}
+
+VldpPrefetcher::VldpPrefetcher(const Params &params)
+    : Prefetcher("VLDP"), _params(params),
+      _history(params.historyEntries),
+      _offsets(params.offsetEntries)
+{
+    for (auto &table : _tables)
+        table.resize(params.tableEntries);
+}
+
+VldpPrefetcher::DhbEntry &
+VldpPrefetcher::lookupPage(std::uint64_t page)
+{
+    DhbEntry *victim = &_history[0];
+    for (DhbEntry &entry : _history) {
+        if (entry.pageTag == page) {
+            entry.lruStamp = ++_stamp;
+            return entry;
+        }
+        if (entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    *victim = DhbEntry{};
+    victim->pageTag = page;
+    victim->lruStamp = ++_stamp;
+    return *victim;
+}
+
+void
+VldpPrefetcher::updateTables(const DhbEntry &entry, std::int16_t new_delta)
+{
+    // Train each table whose history length is available: the history
+    // seen *before* this delta predicts it.
+    for (unsigned len = 1; len <= entry.numDeltas && len <= kNumTables;
+         ++len) {
+        const std::uint64_t key = historyKey(entry, len);
+        auto &table = _tables[len - 1];
+        DptEntry &slot = table[key % table.size()];
+        if (slot.key == key) {
+            if (slot.prediction == new_delta) {
+                if (slot.confidence < 3)
+                    ++slot.confidence;
+            } else if (slot.confidence > 0) {
+                --slot.confidence;
+            } else {
+                slot.prediction = new_delta;
+            }
+        } else {
+            slot = DptEntry{key, new_delta, 0};
+        }
+    }
+}
+
+std::int16_t
+VldpPrefetcher::predict(const DhbEntry &entry) const
+{
+    for (unsigned len = std::min<unsigned>(entry.numDeltas, kNumTables);
+         len >= 1; --len) {
+        const std::uint64_t key = historyKey(entry, len);
+        const auto &table = _tables[len - 1];
+        const DptEntry &slot = table[key % table.size()];
+        // Longer histories may predict with low confidence; shorter
+        // ones require at least weak confidence.
+        const unsigned needed = len == kNumTables ? 0 : 1;
+        if (slot.key == key && slot.confidence >= needed)
+            return slot.prediction;
+    }
+    return 0;
+}
+
+void
+VldpPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
+{
+    // VLDP trains on the primary miss stream plus hits on prefetched
+    // lines; plain hits carry no new information for it.
+    if (!access.l1PrimaryMiss && access.l1Hit)
+        return;
+
+    const std::uint64_t page = access.addr >> kPageBits;
+    const auto offset = static_cast<std::uint8_t>(
+        (access.addr >> kLineBits) & (kLinesPerPage - 1));
+
+    DhbEntry &entry = lookupPage(page);
+
+    if (!entry.seenFirstAccess) {
+        entry.seenFirstAccess = true;
+        entry.lastOffset = offset;
+        // First touch of a page: consult the OPT.
+        const OptEntry &opt = _offsets[offset % _offsets.size()];
+        if (opt.valid && opt.offset == offset && opt.confidence >= 1) {
+            const int target = offset + opt.prediction;
+            if (target >= 0 &&
+                target < static_cast<int>(kLinesPerPage)) {
+                emitter.emit((page << kPageBits) +
+                                 (static_cast<Addr>(target)
+                                  << kLineBits),
+                             kL1);
+            }
+        }
+        return;
+    }
+
+    const auto delta =
+        static_cast<std::int16_t>(static_cast<int>(offset) -
+                                  static_cast<int>(entry.lastOffset));
+    if (delta == 0)
+        return;
+
+    if (entry.numDeltas == 0) {
+        // Second access to the page trains the OPT.
+        OptEntry &opt = _offsets[entry.lastOffset % _offsets.size()];
+        if (opt.valid && opt.offset == entry.lastOffset) {
+            if (opt.prediction == delta) {
+                if (opt.confidence < 3)
+                    ++opt.confidence;
+            } else if (opt.confidence > 0) {
+                --opt.confidence;
+            } else {
+                opt.prediction = delta;
+            }
+        } else {
+            opt = OptEntry{entry.lastOffset, delta, 0, true};
+        }
+    }
+
+    updateTables(entry, delta);
+
+    // Push the new delta into the page's history (newest first).
+    for (unsigned i = kMaxHistory; i-- > 1;)
+        entry.deltas[i] = entry.deltas[i - 1];
+    entry.deltas[0] = delta;
+    if (entry.numDeltas < kMaxHistory)
+        ++entry.numDeltas;
+    entry.lastOffset = offset;
+
+    // Chained lookahead: speculatively apply predicted deltas.
+    DhbEntry spec = entry;
+    int current = offset;
+    for (unsigned i = 0; i < _params.degree; ++i) {
+        const std::int16_t next = predict(spec);
+        if (next == 0)
+            break;
+        current += next;
+        if (current < 0 || current >= static_cast<int>(kLinesPerPage))
+            break;
+        emitter.emit((page << kPageBits) +
+                         (static_cast<Addr>(current) << kLineBits),
+                     kL1);
+        for (unsigned j = kMaxHistory; j-- > 1;)
+            spec.deltas[j] = spec.deltas[j - 1];
+        spec.deltas[0] = next;
+        if (spec.numDeltas < kMaxHistory)
+            ++spec.numDeltas;
+    }
+}
+
+std::size_t
+VldpPrefetcher::storageBits() const
+{
+    // DHB: page tag (16) + 3 deltas (12 each) + offset (6) + misc (4)
+    // DPT: key tag (12) + prediction (12) + confidence (2)
+    // OPT: offset (6) + prediction (12) + confidence (2) + valid (1)
+    std::size_t total = _history.size() * (16 + 3 * 12 + 6 + 4);
+    for (const auto &table : _tables)
+        total += table.size() * (12 + 12 + 2);
+    total += _offsets.size() * (6 + 12 + 2 + 1);
+    return total;
+}
+
+} // namespace dol

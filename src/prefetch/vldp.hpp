@@ -1,0 +1,101 @@
+/**
+ * @file
+ * VLDP: Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015).
+ *
+ * A Delta History Buffer tracks the last few deltas per page; multiple
+ * Delta Prediction Tables — indexed by delta histories of increasing
+ * length — predict the next delta, longest match winning; an Offset
+ * Prediction Table predicts the first prefetch on a brand-new page from
+ * its first accessed offset. Table II configuration: 64-entry DHB,
+ * 128-entry DPTs, 128-entry OPT (3.25 KB).
+ */
+
+#ifndef DOL_PREFETCH_VLDP_HPP
+#define DOL_PREFETCH_VLDP_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned historyEntries = 64; ///< DHB pages tracked
+        unsigned tableEntries = 128;  ///< per DPT
+        unsigned offsetEntries = 128; ///< OPT
+        unsigned degree = 4;          ///< lookahead chain length
+    };
+
+    VldpPrefetcher();
+    explicit VldpPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+  private:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr unsigned kLinesPerPage =
+        1u << (kPageBits - kLineBits);
+    static constexpr unsigned kNumTables = 3; ///< history lengths 1..3
+    static constexpr unsigned kMaxHistory = kNumTables;
+
+    struct DhbEntry
+    {
+        std::uint64_t pageTag = ~std::uint64_t{0};
+        std::array<std::int16_t, kMaxHistory> deltas{}; ///< newest first
+        std::uint8_t numDeltas = 0;
+        std::uint8_t lastOffset = 0;
+        bool seenFirstAccess = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct DptEntry
+    {
+        std::uint64_t key = ~std::uint64_t{0};
+        std::int16_t prediction = 0;
+        std::uint8_t confidence = 0; ///< 2-bit
+    };
+
+    struct OptEntry
+    {
+        std::uint8_t offset = 0;
+        std::int16_t prediction = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    static std::uint64_t
+    historyKey(const DhbEntry &entry, unsigned length)
+    {
+        std::uint64_t key = 0;
+        for (unsigned i = 0; i < length; ++i) {
+            key = (key << 12) ^
+                  static_cast<std::uint16_t>(entry.deltas[i] & 0xfff);
+        }
+        return key ^ (std::uint64_t{length} << 60);
+    }
+
+    DhbEntry &lookupPage(std::uint64_t page);
+    void updateTables(const DhbEntry &entry, std::int16_t new_delta);
+
+    /** Longest-match prediction; returns 0 when nothing matches. */
+    std::int16_t predict(const DhbEntry &entry) const;
+
+    Params _params;
+    std::vector<DhbEntry> _history;
+    std::array<std::vector<DptEntry>, kNumTables> _tables;
+    std::vector<OptEntry> _offsets;
+    std::uint64_t _stamp = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_VLDP_HPP

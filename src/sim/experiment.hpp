@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Experiment harness: runs (workload, prefetcher) pairs and extracts
+ * every metric the paper reports — speedup over the no-prefetch
+ * baseline, scope, effective accuracy and coverage at L1 and L2,
+ * normalized memory traffic, per-category (LHF/MHF/HHF) accuracy, and
+ * per-component breakdowns. Baselines and stratifiers are computed
+ * once per workload and cached.
+ */
+
+#ifndef DOL_SIM_EXPERIMENT_HPP
+#define DOL_SIM_EXPERIMENT_HPP
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/accounting.hpp"
+#include "metrics/stratify.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/suite.hpp"
+
+namespace dol
+{
+
+/** Everything measured in one (workload, prefetcher) run. */
+struct RunOutput
+{
+    std::string workload;
+    std::string prefetcher;
+
+    double ipc = 0.0;
+    double baselineIpc = 0.0;
+    double speedup() const
+    {
+        return baselineIpc > 0.0 ? ipc / baselineIpc : 1.0;
+    }
+
+    std::uint64_t instructions = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t l1ShadowMisses = 0;
+    std::uint64_t l1Misses = 0;
+    double baselineMpkiL1 = 0.0;
+
+    double scope = 0.0;
+    double effAccuracyL1 = 0.0;
+    double effCoverageL1 = 0.0;
+    double effAccuracyL2 = 0.0;
+    double effCoverageL2 = 0.0;
+    double trafficNormalized = 1.0;
+
+    /** Per ground-truth category (Figure 13). */
+    std::array<PrefetchAccounting::CategoryCounters, kNumFruit>
+        categories{};
+    std::array<double, kNumFruit> categoryScope{};
+
+    /** Per component (Figure 12 incremental, Figure 14). */
+    struct ComponentOutput
+    {
+        std::string name;
+        std::uint64_t issued = 0;
+        std::uint64_t used = 0;
+        double inducedCredit = 0.0;
+        double scope = 0.0;
+
+        double
+        effectiveAccuracy() const
+        {
+            return issued ? (static_cast<double>(used) - inducedCredit) /
+                                static_cast<double>(issued)
+                          : 0.0;
+        }
+    };
+    std::vector<ComponentOutput> components;
+
+    /** Focus-region counters (outside an exclude set; Figure 14). */
+    PrefetchAccounting::CategoryCounters focus{};
+    double focusScope = 0.0;
+
+    /** Lines this run prefetched (input to Figure 14's exclusion). */
+    std::shared_ptr<std::unordered_set<Addr>> pfp;
+};
+
+/** Per-run options beyond the prefetcher name. */
+struct RunOptions
+{
+    /** Build the prefetcher directly (ablations with custom params);
+     *  overrides the registry name when set. */
+    std::function<std::unique_ptr<Prefetcher>(const ValueSource *)>
+        factory;
+    /** Force all prefetches to one destination (Figure 16). */
+    std::optional<unsigned> forceDest;
+    /** Oracle-stratified destination: LHF to L1, rest to L2. */
+    bool oracleDest = false;
+    /** Exclude set for focus-region accounting (Figure 14). */
+    std::shared_ptr<const std::unordered_set<Addr>> exclude;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const SimConfig &config = {})
+        : _config(config)
+    {}
+
+    struct Baseline
+    {
+        double ipc = 0.0;
+        double mpkiL1 = 0.0;
+        std::uint64_t l1Misses = 0;
+        std::shared_ptr<OfflineStratifier> stratifier;
+    };
+
+    /** Baseline run (cached per workload): IPC + ground truth. */
+    const Baseline &baseline(const WorkloadSpec &spec);
+
+    /** Measured run with a prefetcher built by the registry. */
+    RunOutput run(const WorkloadSpec &spec,
+                  const std::string &prefetcher_name,
+                  const RunOptions &options = {});
+
+    const SimConfig &config() const { return _config; }
+
+  private:
+    SimConfig _config;
+    std::unordered_map<std::string, Baseline> _baselines;
+};
+
+/** Honour DOL_QUICK=1 by shrinking the instruction budget. */
+SimConfig makeBenchConfig(std::uint64_t max_instrs = 400000);
+
+} // namespace dol
+
+#endif // DOL_SIM_EXPERIMENT_HPP

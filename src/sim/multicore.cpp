@@ -1,0 +1,78 @@
+#include "sim/multicore.hpp"
+
+#include "core/registry.hpp"
+
+namespace dol
+{
+
+MulticoreSimulator::MulticoreSimulator(
+    const SimConfig &config, const std::vector<WorkloadSpec> &mix,
+    const std::string &prefetcher_name)
+    : _config(config),
+      _shared(std::make_shared<SharedMemory>(
+          config.mem, static_cast<unsigned>(mix.size())))
+{
+    for (const WorkloadSpec &spec : mix) {
+        auto image = std::make_unique<MemoryImage>();
+        auto kernel = spec.factory(*image);
+
+        Prefetcher *prefetcher = nullptr;
+        if (!prefetcher_name.empty()) {
+            _prefetchers.push_back(
+                makePrefetcher(prefetcher_name, image.get()));
+            prefetcher = _prefetchers.back().get();
+        }
+
+        _cores.push_back(std::make_unique<Simulator>(
+            _config, *kernel, prefetcher, _shared));
+        _images.push_back(std::move(image));
+        _kernels.push_back(std::move(kernel));
+    }
+}
+
+MulticoreResult
+MulticoreSimulator::run()
+{
+    // Advance the core that is furthest behind in simulated time, so
+    // requests reach the shared levels in roughly global time order.
+    std::vector<bool> active(_cores.size(), true);
+    bool any_active = true;
+    while (any_active) {
+        std::size_t next = _cores.size();
+        Cycle best = kNoCycle;
+        for (std::size_t i = 0; i < _cores.size(); ++i) {
+            if (!active[i])
+                continue;
+            const Cycle cycle = _cores[i]->currentCycle();
+            if (next == _cores.size() || cycle < best) {
+                next = i;
+                best = cycle;
+            }
+        }
+        if (next == _cores.size())
+            break;
+
+        // A small quantum keeps scheduling overhead low.
+        for (unsigned q = 0; q < 64; ++q) {
+            if (_cores[next]->instructions() >= _config.maxInstrs ||
+                !_cores[next]->step()) {
+                active[next] = false;
+                break;
+            }
+        }
+
+        any_active = false;
+        for (std::size_t i = 0; i < _cores.size(); ++i)
+            any_active = any_active || active[i];
+    }
+
+    MulticoreResult result;
+    for (const auto &core : _cores)
+        result.ipc.push_back(core->ipc());
+    result.dramLines = _shared->dram().linesTransferred();
+    result.baselineDramLines = _shared->baselineDramLines();
+    result.droppedPrefetches = _shared->dram().stats().droppedPrefetches;
+    return result;
+}
+
+} // namespace dol

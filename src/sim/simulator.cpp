@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+#include "common/log.hpp"
+
+namespace dol
+{
+
+Simulator::Simulator(const SimConfig &config, Kernel &kernel,
+                     Prefetcher *prefetcher,
+                     std::shared_ptr<SharedMemory> shared)
+    : _config(config), _kernel(&kernel), _prefetcher(prefetcher),
+      _mem(config.mem, std::move(shared)), _core(config.core),
+      _emitter(_mem), _fillQueue(_fills)
+{
+    _componentNames.resize(kMaxComponents);
+    _componentNames[kNoComponent] = "none";
+    if (_prefetcher) {
+        ComponentId next = 1;
+        _prefetcher->assignIds([&](const std::string &name) {
+            if (next >= kMaxComponents)
+                fatal("too many prefetcher components");
+            _componentNames[next] = name;
+            return next++;
+        });
+    }
+
+    _listeners.add(&_accounting);
+    _listeners.add(&_fillQueue);
+    _mem.setListener(&_listeners);
+}
+
+void
+Simulator::drainFills()
+{
+    while (!_fills.empty()) {
+        const FillEvent event = _fills.front();
+        _fills.pop_front();
+        _emitter.setContext(_prefetcher->id(), event.completion);
+        _prefetcher->onFill(event.comp, event.line, event.completion,
+                            _emitter);
+    }
+}
+
+bool
+Simulator::step()
+{
+    Instr instr;
+    if (!_kernel->next(instr))
+        return false;
+
+    // mPC uses the RAS as of *before* this instruction's own effect.
+    const Pc m_pc = instr.pc ^ _core.ras().top();
+
+    const RetireInfo retire = _core.step(instr, _mem);
+
+    if (_prefetcher) {
+        _emitter.setContext(_prefetcher->id(), retire.issue);
+        _prefetcher->onInstr(instr, retire, m_pc, _emitter);
+
+        if (instr.isMem()) {
+            AccessInfo access;
+            access.pc = instr.pc;
+            access.mPc = m_pc;
+            access.addr = instr.addr;
+            access.isLoad = instr.isLoad();
+            access.l1Hit = retire.mem.l1Hit;
+            access.l1PrimaryMiss = retire.mem.l1PrimaryMiss;
+            access.l1HitPrefetched = retire.mem.l1HitPrefetched;
+            access.l1HitComp = retire.mem.l1HitComp;
+            access.l2Hit = retire.mem.l2Hit;
+            access.l3Hit = retire.mem.l3Hit;
+            access.value = instr.value;
+            access.when = retire.issue;
+            access.completion = retire.mem.completion;
+
+            _emitter.setContext(_prefetcher->id(), retire.issue);
+            _prefetcher->train(access, _emitter);
+        }
+        drainFills();
+    }
+
+    ++_instrs;
+    return true;
+}
+
+void
+Simulator::run()
+{
+    while (_instrs < _config.maxInstrs && step()) {
+    }
+}
+
+} // namespace dol

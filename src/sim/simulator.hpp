@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Single-core simulation driver: wires a workload kernel, the timing
+ * core, the memory hierarchy, one prefetcher, and the metrics
+ * listeners together, and runs the instruction budget.
+ *
+ * Prefetch fill events are queued and drained between instructions
+ * (never delivered re-entrantly), so a component chaining prefetches
+ * off fills (P1) observes the same ordering the hardware would.
+ */
+
+#ifndef DOL_SIM_SIMULATOR_HPP
+#define DOL_SIM_SIMULATOR_HPP
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "mem/memory_system.hpp"
+#include "metrics/accounting.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "workloads/kernel.hpp"
+
+namespace dol
+{
+
+struct SimConfig
+{
+    CoreParams core{};
+    MemParams mem{};
+    std::uint64_t maxInstrs = 400000;
+};
+
+class Simulator
+{
+  public:
+    /**
+     * @param kernel     workload (borrowed; must outlive the sim)
+     * @param prefetcher optional prefetcher (borrowed)
+     * @param shared     shared L3/DRAM for multicore; nullptr builds
+     *                   a private one
+     */
+    Simulator(const SimConfig &config, Kernel &kernel,
+              Prefetcher *prefetcher,
+              std::shared_ptr<SharedMemory> shared = nullptr);
+
+    /** Attach the ground-truth classifier to the accounting. */
+    void
+    setStratifier(const OfflineStratifier *stratifier)
+    {
+        _accounting.setStratifier(stratifier);
+    }
+
+    PrefetchAccounting &accounting() { return _accounting; }
+    PrefetchEmitter &emitter() { return _emitter; }
+
+    /** Run until the instruction budget is exhausted. */
+    void run();
+
+    /** Execute one instruction; false when the kernel is done. */
+    bool step();
+
+    const Core &core() const { return _core; }
+    MemorySystem &mem() { return _mem; }
+    const MemorySystem &mem() const { return _mem; }
+    std::uint64_t instructions() const { return _instrs; }
+
+    double
+    ipc() const
+    {
+        const Cycle cycles = _core.stats().cycles;
+        return cycles ? static_cast<double>(_instrs) / cycles : 0.0;
+    }
+
+    /** Interleaving key for the multicore driver. */
+    Cycle currentCycle() const { return _core.finalCycle(); }
+
+    /** Names of the allocated component ids (id -> name). */
+    const std::vector<std::string> &componentNames() const
+    {
+        return _componentNames;
+    }
+
+  private:
+    struct FillEvent
+    {
+        ComponentId comp;
+        Addr line;
+        Cycle completion;
+    };
+
+    /** Queues fill events for post-instruction delivery. */
+    class FillQueue : public MemListener
+    {
+      public:
+        explicit FillQueue(std::deque<FillEvent> &queue)
+            : _queue(&queue)
+        {}
+
+        void
+        prefetchFill(ComponentId comp, Addr line,
+                     Cycle completion) override
+        {
+            _queue->push_back({comp, line, completion});
+        }
+
+      private:
+        std::deque<FillEvent> *_queue;
+    };
+
+    void drainFills();
+
+    SimConfig _config;
+    Kernel *_kernel;
+    Prefetcher *_prefetcher;
+
+    MemorySystem _mem;
+    Core _core;
+    PrefetchEmitter _emitter;
+
+    PrefetchAccounting _accounting;
+    std::deque<FillEvent> _fills;
+    FillQueue _fillQueue;
+    ListenerChain _listeners;
+
+    std::vector<std::string> _componentNames;
+    std::uint64_t _instrs = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_SIM_SIMULATOR_HPP

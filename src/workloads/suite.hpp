@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload suites: named kernel configurations standing in for the
+ * paper's four benchmark collections (SPEC CPU2006, CRONO graph suite,
+ * STARBENCH embedded suite, NPB scientific suite) plus the 4-thread
+ * multiprogrammed mixes of section V-A. Each ".syn" workload imitates
+ * the dominant access-pattern mix of the program it is named after;
+ * DESIGN.md section 2 records the substitution rationale.
+ */
+
+#ifndef DOL_WORKLOADS_SUITE_HPP
+#define DOL_WORKLOADS_SUITE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hpp"
+
+namespace dol
+{
+
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite;
+    std::function<std::unique_ptr<Kernel>(MemoryImage &)> factory;
+};
+
+/** The 21 SPEC-like single-core workloads (Figure 8's x-axis). */
+const std::vector<WorkloadSpec> &speclikeSuite();
+
+/** Graph workloads (CRONO stand-in). */
+const std::vector<WorkloadSpec> &cronoSuite();
+
+/** Embedded/streaming workloads (STARBENCH stand-in). */
+const std::vector<WorkloadSpec> &starbenchSuite();
+
+/** Scientific workloads (NPB stand-in). */
+const std::vector<WorkloadSpec> &npbSuite();
+
+/** Every single-core workload, all suites concatenated. */
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/** Find a workload by name (fatal on unknown). */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/**
+ * Seeded random 4-workload mixes drawn from all suites (the paper's
+ * 4-core multiprogrammed experiments).
+ */
+std::vector<std::vector<WorkloadSpec>>
+makeMixes(unsigned count, std::uint64_t seed = 42);
+
+/** A reduced workload list for smoke tests and quick runs. */
+const std::vector<WorkloadSpec> &quickSuite();
+
+} // namespace dol
+
+#endif // DOL_WORKLOADS_SUITE_HPP

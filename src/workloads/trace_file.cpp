@@ -1,0 +1,124 @@
+#include "workloads/trace_file.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace dol
+{
+
+TraceRecord
+TraceRecord::pack(const Instr &instr)
+{
+    TraceRecord record{};
+    record.pc = instr.pc;
+    record.addr = instr.addr;
+    record.value = instr.value;
+    record.target = instr.target;
+    record.op = static_cast<std::uint8_t>(instr.op);
+    record.flags = static_cast<std::uint8_t>(
+        (instr.taken ? 1 : 0) | (instr.mispredicted ? 2 : 0));
+    record.dst = instr.dst;
+    record.src1 = instr.src1;
+    record.src2 = instr.src2;
+    record.size = instr.size;
+    record.latency = instr.latency;
+    return record;
+}
+
+Instr
+TraceRecord::unpack() const
+{
+    Instr instr;
+    instr.pc = pc;
+    instr.addr = addr;
+    instr.value = value;
+    instr.target = target;
+    instr.op = static_cast<Op>(op);
+    instr.taken = flags & 1;
+    instr.mispredicted = flags & 2;
+    instr.dst = dst;
+    instr.src1 = src1;
+    instr.src2 = src2;
+    instr.size = size;
+    instr.latency = latency;
+    return instr;
+}
+
+std::uint64_t
+recordTrace(Kernel &kernel, const std::string &path,
+            std::uint64_t max_instrs)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file for writing: " + path);
+
+    kernel.reset();
+    TraceHeader header;
+    // Header rewritten at the end once the count is known.
+    std::fwrite(&header, sizeof header, 1, file);
+
+    Instr instr;
+    std::uint64_t written = 0;
+    while (written < max_instrs && kernel.next(instr)) {
+        const TraceRecord record = TraceRecord::pack(instr);
+        if (std::fwrite(&record, sizeof record, 1, file) != 1) {
+            std::fclose(file);
+            fatal("short write recording trace: " + path);
+        }
+        ++written;
+    }
+
+    header.instructionCount = written;
+    std::fseek(file, 0, SEEK_SET);
+    std::fwrite(&header, sizeof header, 1, file);
+    std::fclose(file);
+    kernel.reset();
+    return written;
+}
+
+TraceKernel::TraceKernel(MemoryImage &memory, const std::string &path,
+                         bool loop)
+    : Kernel("trace:" + path, memory), _loop(loop)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file: " + path);
+
+    TraceHeader header;
+    const TraceHeader expected;
+    if (std::fread(&header, sizeof header, 1, file) != 1 ||
+        std::memcmp(header.magic, expected.magic,
+                    sizeof header.magic) != 0) {
+        std::fclose(file);
+        fatal("not a dol trace file: " + path);
+    }
+
+    _records.resize(header.instructionCount);
+    const std::size_t read = std::fread(
+        _records.data(), sizeof(TraceRecord), _records.size(), file);
+    std::fclose(file);
+    if (read != _records.size())
+        fatal("truncated trace file: " + path);
+}
+
+void
+TraceKernel::reset()
+{
+    clearQueue();
+    _position = 0;
+}
+
+bool
+TraceKernel::generate()
+{
+    if (_position >= _records.size()) {
+        if (!_loop || _records.empty())
+            return false;
+        _position = 0;
+    }
+    push(_records[_position++].unpack());
+    return true;
+}
+
+} // namespace dol

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Binary trace record/replay.
+ *
+ * Any kernel's instruction stream can be recorded to a compact binary
+ * file and replayed later as a Kernel — useful for sharing workloads,
+ * pinning down regressions, and feeding externally captured traces
+ * into the simulator (the record layout carries everything the paper's
+ * mechanisms need: PCs, registers, values, and branch structure).
+ */
+
+#ifndef DOL_WORKLOADS_TRACE_FILE_HPP
+#define DOL_WORKLOADS_TRACE_FILE_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hpp"
+
+namespace dol
+{
+
+/** On-disk record: a fixed-width packing of Instr. */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint64_t value;
+    std::uint64_t target;
+    std::uint8_t op;
+    std::uint8_t flags; ///< bit0 taken, bit1 mispredicted
+    std::uint8_t dst;
+    std::uint8_t src1;
+    std::uint8_t src2;
+    std::uint8_t size;
+    std::uint8_t latency;
+    std::uint8_t pad;
+
+    static TraceRecord pack(const Instr &instr);
+    Instr unpack() const;
+};
+
+static_assert(sizeof(TraceRecord) == 40, "stable on-disk layout");
+
+/** Magic + version header guarding against format drift. */
+struct TraceHeader
+{
+    char magic[8] = {'D', 'O', 'L', 'T', 'R', 'C', '0', '1'};
+    std::uint64_t instructionCount = 0;
+};
+
+/**
+ * Record the first @p max_instrs instructions of @p kernel to
+ * @p path. The kernel is reset first and left reset afterwards.
+ *
+ * @return the number of instructions written.
+ */
+std::uint64_t recordTrace(Kernel &kernel, const std::string &path,
+                          std::uint64_t max_instrs);
+
+/** A Kernel that replays a recorded trace (looping at the end). */
+class TraceKernel : public Kernel
+{
+  public:
+    /**
+     * @param loop replay from the start when the trace runs out
+     *             (keeps instruction budgets independent of trace
+     *             length)
+     */
+    TraceKernel(MemoryImage &memory, const std::string &path,
+                bool loop = true);
+
+    void reset() override;
+
+    std::uint64_t traceLength() const { return _records.size(); }
+
+  protected:
+    bool generate() override;
+
+  private:
+    std::vector<TraceRecord> _records;
+    std::size_t _position = 0;
+    bool _loop;
+};
+
+} // namespace dol
+
+#endif // DOL_WORKLOADS_TRACE_FILE_HPP

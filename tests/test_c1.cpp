@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the C1 region component: instruction monitoring, the
+ * density verdict (> 6/16 lines, probability > 3/4 over 4 regions),
+ * and the carpet-bombing region prefetch into L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/c1.hpp"
+#include "mem/memory_system.hpp"
+
+namespace dol
+{
+namespace
+{
+
+class C1Test : public ::testing::Test
+{
+  protected:
+    C1Test() : emitter(mem)
+    {
+        c1.setId(3);
+    }
+
+    /** One training access by @p m_pc at @p addr (primary miss). */
+    void
+    access(Pc m_pc, Addr addr)
+    {
+        now += 10;
+        AccessInfo info;
+        info.pc = m_pc;
+        info.mPc = m_pc;
+        info.addr = addr;
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = now;
+        info.completion = now + 200;
+        emitter.setContext(3, now);
+        c1.train(info, emitter);
+    }
+
+    /** Touch @p lines lines of the 1 KB region at @p base. */
+    void
+    touchRegion(Pc m_pc, Addr base, unsigned lines)
+    {
+        for (unsigned i = 0; i < lines; ++i)
+            access(m_pc, base + i * kLineBytes);
+    }
+
+    MemorySystem mem;
+    PrefetchEmitter emitter;
+    C1Prefetcher c1;
+    Cycle now = 0;
+};
+
+TEST_F(C1Test, ConsiderAcceptsUntilImFull)
+{
+    for (Pc pc = 1; pc <= 16; ++pc)
+        EXPECT_TRUE(c1.considerInstruction(pc * 4));
+    // The IM never evicts: entry 17 is declined.
+    EXPECT_FALSE(c1.considerInstruction(17 * 4));
+    // But an already-monitored instruction is always accepted.
+    EXPECT_TRUE(c1.considerInstruction(4));
+    EXPECT_TRUE(c1.isMonitored(4));
+}
+
+TEST_F(C1Test, DenseInstructionGetsMarked)
+{
+    ASSERT_TRUE(c1.considerInstruction(0x100));
+    // Four dense regions (12 > 6 lines each) and their evictions:
+    // regions are evicted by touching many other regions.
+    Addr base = 0x100000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x100, base, 12);
+        base += kRegionBytes;
+    }
+    // Flush the RM with unrelated single-line regions to force the
+    // verdict (TotalRegions reaches 4).
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x900000 + i * kRegionBytes);
+
+    EXPECT_TRUE(c1.isMarked(0x100));
+}
+
+TEST_F(C1Test, SparseInstructionIsNotMarked)
+{
+    ASSERT_TRUE(c1.considerInstruction(0x200));
+    Addr base = 0x300000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x200, base, 3); // 3 of 16 lines: sparse
+        base += kRegionBytes;
+    }
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0xa00000 + i * kRegionBytes);
+
+    EXPECT_FALSE(c1.isMarked(0x200));
+    // And the IM slot was vacated for the next candidate.
+    EXPECT_FALSE(c1.isMonitored(0x200));
+}
+
+TEST_F(C1Test, MixedDensityBelowThreeQuartersIsNotMarked)
+{
+    ASSERT_TRUE(c1.considerInstruction(0x300));
+    // 2 dense + 2 sparse regions: probability 1/2 < 3/4.
+    touchRegion(0x300, 0x500000, 12);
+    touchRegion(0x300, 0x500000 + kRegionBytes, 12);
+    touchRegion(0x300, 0x500000 + 2 * kRegionBytes, 2);
+    touchRegion(0x300, 0x500000 + 3 * kRegionBytes, 2);
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0xb00000 + i * kRegionBytes);
+
+    EXPECT_FALSE(c1.isMarked(0x300));
+}
+
+TEST_F(C1Test, MarkedInstructionTriggersRegionPrefetchToL2)
+{
+    ASSERT_TRUE(c1.considerInstruction(0x400));
+    Addr base = 0x700000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x400, base, 12);
+        base += kRegionBytes;
+    }
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0xc00000 + i * kRegionBytes);
+    ASSERT_TRUE(c1.isMarked(0x400));
+
+    const std::uint64_t before = c1.regionsPrefetched();
+    const Addr fresh = 0xd00000;
+    access(0x400, fresh + 5 * kLineBytes);
+    EXPECT_EQ(c1.regionsPrefetched(), before + 1);
+
+    // All 16 lines of the region land in L2 (not L1).
+    unsigned in_l2 = 0, in_l1 = 0;
+    for (unsigned i = 0; i < kRegionLineCount; ++i) {
+        in_l2 += mem.cacheAt(kL2).find(fresh + i * kLineBytes) != nullptr;
+        in_l1 += mem.cacheAt(kL1).find(fresh + i * kLineBytes) != nullptr;
+    }
+    EXPECT_EQ(in_l2, kRegionLineCount);
+    EXPECT_EQ(in_l1, 0u);
+
+    // Re-touching the same region does not re-bomb it.
+    access(0x400, fresh + 7 * kLineBytes);
+    EXPECT_EQ(c1.regionsPrefetched(), before + 1);
+}
+
+TEST_F(C1Test, StorageBudgetNearTableII)
+{
+    // Table II: C1 = 1.2 KB = 9830 bits.
+    const double bits = static_cast<double>(c1.storageBits());
+    EXPECT_GT(bits, 0.2 * 1.2 * 8 * 1024);
+    EXPECT_LT(bits, 1.5 * 1.2 * 8 * 1024);
+}
+
+} // namespace
+} // namespace dol

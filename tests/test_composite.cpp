@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the composite prefetcher's coordinator: ownership
+ * claims (T2 -> P1 -> C1), routing of unclaimed instructions to extra
+ * components, round-robin binding with hit-based rebinding, shunting,
+ * destination overrides, and the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/composite.hpp"
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "mem/memory_image.hpp"
+#include "mem/memory_system.hpp"
+#include "prefetch/next_line.hpp"
+
+namespace dol
+{
+namespace
+{
+
+class CompositeTest : public ::testing::Test
+{
+  protected:
+    CompositeTest() : emitter(mem), tpc(&image)
+    {
+        ComponentId next = 1;
+        tpc.assignIds([&](const std::string &name) {
+            names.push_back(name);
+            return next++;
+        });
+    }
+
+    AccessInfo
+    load(Pc pc, Addr addr, bool miss = true)
+    {
+        now += 12;
+        AccessInfo info;
+        info.pc = pc;
+        info.mPc = pc;
+        info.addr = addr;
+        info.isLoad = true;
+        info.l1PrimaryMiss = miss;
+        info.l1Hit = !miss;
+        info.when = now;
+        info.completion = now + (miss ? 200 : 3);
+        emitter.setContext(tpc.id(), now);
+        tpc.train(info, emitter);
+        return info;
+    }
+
+    MemoryImage image;
+    MemorySystem mem;
+    PrefetchEmitter emitter;
+    CompositePrefetcher tpc;
+    std::vector<std::string> names;
+    Cycle now = 0;
+};
+
+TEST_F(CompositeTest, AssignsIdsToAllComponents)
+{
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "T2");
+    EXPECT_EQ(names[1], "P1");
+    EXPECT_EQ(names[2], "C1");
+    EXPECT_EQ(tpc.t2()->id(), 1);
+    EXPECT_EQ(tpc.p1()->id(), 2);
+    EXPECT_EQ(tpc.c1()->id(), 3);
+}
+
+TEST_F(CompositeTest, StridedInstructionBelongsToT2)
+{
+    for (int i = 0; i <= 20; ++i)
+        load(0x100, 0x100000 + i * 64);
+    EXPECT_EQ(tpc.ownerOf(0x100), CompositePrefetcher::Owner::kT2);
+    EXPECT_GT(mem.stats().comp[1].issued, 0u);
+    EXPECT_EQ(mem.stats().comp[3].issued, 0u)
+        << "C1 must not see T2's instructions";
+}
+
+TEST_F(CompositeTest, NonStridedDenseInstructionFallsToC1)
+{
+    // Random-within-dense-regions accesses: T2 writes it off; C1
+    // monitors and (eventually) marks it.
+    Addr base = 0x400000;
+    for (int r = 0; r < 6; ++r) {
+        for (unsigned i = 0; i < 12; ++i) {
+            load(0x200, base + ((i * 5) % 16) * kLineBytes);
+        }
+        base += kRegionBytes;
+    }
+    // Flush the region monitor to force verdicts.
+    for (int i = 0; i < 40; ++i)
+        load(0x999, 0x900000 + i * kRegionBytes);
+    EXPECT_EQ(tpc.t2()->stateOf(0x200), InstrState::kNonStrided);
+    EXPECT_EQ(tpc.ownerOf(0x200), CompositePrefetcher::Owner::kC1);
+}
+
+TEST_F(CompositeTest, UnclaimedInstructionsRouteToExtrasRoundRobin)
+{
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    ComponentId next = 4;
+    tpc.extras()[0]->setId(next++);
+    tpc.extras()[1]->setId(next++);
+
+    // Two random-pattern instructions: each must bind to an extra.
+    // (Random accesses keep T2 unconvinced and C1 unimpressed.)
+    Rng rng(3);
+    for (int i = 0; i < 120; ++i) {
+        load(0x300, 0x1000000 + lineAddr(rng.below(1u << 24)));
+        load(0x304, 0x3000000 + lineAddr(rng.below(1u << 24)));
+    }
+    EXPECT_EQ(tpc.ownerOf(0x300), CompositePrefetcher::Owner::kExtra);
+    EXPECT_EQ(tpc.ownerOf(0x304), CompositePrefetcher::Owner::kExtra);
+    // Both extras produced next-line prefetches.
+    EXPECT_GT(mem.stats().comp[4].issued, 0u);
+    EXPECT_GT(mem.stats().comp[5].issued, 0u);
+}
+
+TEST_F(CompositeTest, HitRebindsInstructionToOwningExtra)
+{
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.extras()[0]->setId(4);
+    tpc.extras()[1]->setId(5);
+
+    // Make 0x500 an extras-owned instruction first (random pattern
+    // until T2 writes it off and C1 rejects it).
+    Rng rng(8);
+    for (int i = 0; i < 120; ++i)
+        load(0x500, 0x5000000 + lineAddr(rng.below(1u << 24)));
+    ASSERT_EQ(tpc.ownerOf(0x500), CompositePrefetcher::Owner::kExtra);
+
+    // A hit on a line component 5 prefetched rebinds the instruction.
+    AccessInfo info;
+    info.pc = 0x500;
+    info.mPc = 0x500;
+    info.addr = 0x5000000;
+    info.isLoad = true;
+    info.l1Hit = true;
+    info.l1HitPrefetched = true;
+    info.l1HitComp = 5;
+    info.when = ++now;
+    emitter.setContext(tpc.id(), now);
+    tpc.train(info, emitter);
+
+    // Subsequent misses by this instruction train component 5 only.
+    const auto before4 = mem.stats().comp[4].issued;
+    const auto before5 = mem.stats().comp[5].issued;
+    for (int i = 0; i < 20; ++i)
+        load(0x500, 0x7000000 + lineAddr(rng.below(1u << 24)));
+    EXPECT_EQ(mem.stats().comp[4].issued, before4);
+    EXPECT_GT(mem.stats().comp[5].issued, before5);
+}
+
+TEST_F(CompositeTest, DestinationOverridesApply)
+{
+    CompositePrefetcher::Config config;
+    config.t2Dest = kL2; // force T2's prefetches into L2
+    CompositePrefetcher forced(&image, config, "TPC-L2");
+    ComponentId next = 10;
+    forced.assignIds([&](const std::string &) { return next++; });
+
+    Cycle t = 0;
+    for (int i = 0; i <= 30; ++i) {
+        AccessInfo info;
+        info.pc = 0x600;
+        info.mPc = 0x600;
+        info.addr = 0x600000 + i * 64;
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = t += 12;
+        info.completion = info.when + 200;
+        emitter.setContext(forced.id(), info.when);
+        forced.train(info, emitter);
+    }
+    EXPECT_GT(mem.stats().level[kL2].prefetchFills, 0u);
+    EXPECT_EQ(mem.stats().level[kL1].prefetchFills, 0u);
+}
+
+TEST_F(CompositeTest, StorageSumsComponents)
+{
+    const std::size_t total = tpc.storageBits();
+    EXPECT_EQ(total, tpc.t2()->storageBits() +
+                         tpc.p1()->storageBits() +
+                         tpc.c1()->storageBits());
+    // Table II: TPC = 4.57 KB.
+    EXPECT_GT(total, 0.6 * 4.57 * 8 * 1024);
+    EXPECT_LT(total, 1.4 * 4.57 * 8 * 1024);
+}
+
+TEST(Shunt, ForwardsEverythingToAllComponents)
+{
+    MemoryImage image;
+    MemorySystem mem;
+    PrefetchEmitter emitter(mem);
+
+    ShuntPrefetcher shunt;
+    shunt.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    shunt.addComponent(std::make_unique<NextLinePrefetcher>(2));
+    ComponentId next = 1;
+    shunt.assignIds([&](const std::string &) { return next++; });
+
+    Cycle t = 0;
+    for (int i = 0; i < 10; ++i) {
+        AccessInfo info;
+        info.pc = 0x700;
+        info.mPc = 0x700;
+        info.addr = 0x700000 + i * 4096;
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = t += 10;
+        emitter.setContext(shunt.id(), info.when);
+        shunt.train(info, emitter);
+    }
+    // Both components fired on the same accesses: overlapping effort.
+    EXPECT_GT(mem.stats().comp[1].issued, 0u);
+    EXPECT_GT(mem.stats().comp[2].issued, 0u);
+}
+
+TEST(AdaptiveCoordinator, SuspendsInaccurateExtras)
+{
+    using namespace dol;
+    MemoryImage image;
+    MemorySystem mem;
+    PrefetchEmitter emitter(mem);
+
+    CompositePrefetcher::Config config;
+    config.adaptiveThrottle = true;
+    config.throttleWindow = 256;
+    config.throttleMinAccuracy = 0.2;
+    config.suspendAccesses = 100000;
+    CompositePrefetcher tpc(&image, config, "TPC-adaptive");
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(2));
+    ComponentId next = 1;
+    tpc.assignIds([&](const std::string &) { return next++; });
+
+    // Random accesses: next-line prefetches are never used. After a
+    // throttle window the extra must be suspended.
+    Rng rng(23);
+    Cycle now = 0;
+    for (int i = 0; i < 4000; ++i) {
+        AccessInfo info;
+        info.pc = 0x100;
+        info.mPc = 0x100;
+        info.addr = 0x10000000 + lineAddr(rng.below(1ull << 28));
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = now += 50;
+        emitter.setContext(tpc.id(), info.when);
+        tpc.train(info, emitter);
+    }
+    EXPECT_TRUE(tpc.extraSuspended(0));
+
+    // Suspension stops the junk: issue counts freeze.
+    const auto frozen = mem.stats().comp[4].issued;
+    for (int i = 0; i < 500; ++i) {
+        AccessInfo info;
+        info.pc = 0x100;
+        info.mPc = 0x100;
+        info.addr = 0x10000000 + lineAddr(rng.below(1ull << 28));
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = now += 50;
+        emitter.setContext(tpc.id(), info.when);
+        tpc.train(info, emitter);
+    }
+    EXPECT_EQ(mem.stats().comp[4].issued, frozen);
+}
+
+TEST(Registry, BuildsEveryNamedConfiguration)
+{
+    MemoryImage image;
+    for (const std::string &name : figureEightPrefetcherNames()) {
+        auto pf = makePrefetcher(name, &image);
+        ASSERT_NE(pf, nullptr) << name;
+        EXPECT_GT(pf->storageBits(), 0u) << name;
+    }
+    EXPECT_NE(makePrefetcher("TPC+SMS", &image), nullptr);
+    EXPECT_NE(makePrefetcher("SHUNT:TPC+VLDP", &image), nullptr);
+    EXPECT_NE(makePrefetcher("T2P1", &image), nullptr);
+    EXPECT_NE(makePrefetcher("Markov", &image), nullptr);
+    EXPECT_NE(makePrefetcher("ISB", &image), nullptr);
+    EXPECT_NE(makePrefetcher("NextLine", &image), nullptr);
+    EXPECT_NE(makePrefetcher("StridePC", &image), nullptr);
+}
+
+TEST(Registry, CompositeWithExtraHasExtraComponent)
+{
+    MemoryImage image;
+    auto pf = makePrefetcher("TPC+SMS", &image);
+    auto *tpc = dynamic_cast<CompositePrefetcher *>(pf.get());
+    ASSERT_NE(tpc, nullptr);
+    ASSERT_EQ(tpc->extras().size(), 1u);
+    EXPECT_EQ(tpc->extras()[0]->name(), "SMS");
+}
+
+} // namespace
+} // namespace dol

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for T2's loop hardware: loop-branch identification, the
+ * NLPCT filter, inner-loop preference, and iteration timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loop_detector.hpp"
+
+namespace dol
+{
+namespace
+{
+
+Instr
+backBranch(Pc pc, Pc target)
+{
+    return makeBranch(pc, target, true);
+}
+
+TEST(LoopDetector, DetectsBackToBackLoopBranch)
+{
+    LoopDetector detector;
+    Cycle t = 0;
+    EXPECT_FALSE(detector.observe(backBranch(0x100, 0x80), t += 10));
+    EXPECT_FALSE(detector.inLoop());
+    // Second instance back-to-back: loop confirmed.
+    EXPECT_TRUE(detector.observe(backBranch(0x100, 0x80), t += 10));
+    EXPECT_TRUE(detector.inLoop());
+    EXPECT_EQ(detector.loopBranchPc(), 0x100u);
+}
+
+TEST(LoopDetector, MeasuresIterationTime)
+{
+    LoopDetector detector;
+    Cycle t = 0;
+    for (int i = 0; i < 50; ++i)
+        detector.observe(backBranch(0x100, 0x80), t += 20);
+    EXPECT_TRUE(detector.inLoop());
+    EXPECT_NEAR(detector.iterationTime(), 20.0, 1.0);
+    EXPECT_EQ(detector.iterationsObserved(), 49u);
+}
+
+TEST(LoopDetector, NonLoopBranchGoesToNlpct)
+{
+    LoopDetector detector;
+    Cycle t = 0;
+    // Pattern: X A X A X A — X is a non-loop backward branch inside
+    // A's loop body.
+    detector.observe(backBranch(0x200, 0x180), t += 5); // X candidate
+    detector.observe(backBranch(0x300, 0x280), t += 5); // A: X -> NLPCT
+    for (int i = 0; i < 4; ++i) {
+        detector.observe(backBranch(0x200, 0x180), t += 5); // skipped
+        detector.observe(backBranch(0x300, 0x280), t += 5);
+    }
+    EXPECT_TRUE(detector.inLoop());
+    EXPECT_EQ(detector.loopBranchPc(), 0x300u);
+}
+
+TEST(LoopDetector, NestedLoopsResolveToInner)
+{
+    LoopDetector detector;
+    Cycle t = 0;
+    // Inner loop branch I repeats; outer branch O appears once per
+    // inner-loop run. The detector must stay locked on I.
+    for (int outer = 0; outer < 5; ++outer) {
+        for (int inner = 0; inner < 8; ++inner)
+            detector.observe(backBranch(0x100, 0x80), t += 10);
+        detector.observe(backBranch(0x400, 0x40), t += 10);
+    }
+    EXPECT_TRUE(detector.inLoop());
+    EXPECT_EQ(detector.loopBranchPc(), 0x100u);
+}
+
+TEST(LoopDetector, NewLoopTakesOver)
+{
+    LoopDetector detector;
+    Cycle t = 0;
+    for (int i = 0; i < 10; ++i)
+        detector.observe(backBranch(0x100, 0x80), t += 10);
+    EXPECT_EQ(detector.loopBranchPc(), 0x100u);
+    // Loop A ends; loop B starts. B's branch repeats back-to-back and
+    // must take over the loop register despite interrupting A.
+    bool boundary = false;
+    for (int i = 0; i < 4; ++i)
+        boundary = detector.observe(backBranch(0x900, 0x880), t += 15);
+    EXPECT_TRUE(boundary);
+    EXPECT_EQ(detector.loopBranchPc(), 0x900u);
+    EXPECT_NEAR(detector.iterationTime(), 15.0, 2.0);
+}
+
+TEST(LoopDetector, IgnoresForwardAndNotTakenBranches)
+{
+    LoopDetector detector;
+    EXPECT_FALSE(detector.observe(makeBranch(0x100, 0x200, true), 10));
+    EXPECT_FALSE(detector.observe(makeBranch(0x100, 0x80, false), 20));
+    EXPECT_FALSE(detector.observe(makeAlu(0x104), 30));
+    EXPECT_FALSE(detector.inLoop());
+}
+
+TEST(LoopDetector, StorageBudgetMatchesTableII)
+{
+    LoopDetector detector(16);
+    // 1 LR + 16-entry NLPCT, a few dozen bytes at most.
+    EXPECT_LE(detector.storageBits(), 600u);
+    EXPECT_GT(detector.storageBits(), 0u);
+}
+
+} // namespace
+} // namespace dol

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the P1 pointer component: taint-scout detection of
+ * array-of-pointers producers, pointer-chain detection and chasing,
+ * and the timeout-based correction mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/p1.hpp"
+#include "core/t2.hpp"
+#include "mem/memory_image.hpp"
+#include "mem/memory_system.hpp"
+
+namespace dol
+{
+namespace
+{
+
+/** Queues prefetch fills for post-instruction delivery to P1. */
+class FillQueueListener : public MemListener
+{
+  public:
+    struct Event
+    {
+        ComponentId comp;
+        Addr line;
+        Cycle completion;
+    };
+
+    void
+    prefetchFill(ComponentId comp, Addr line, Cycle completion) override
+    {
+        events.push_back({comp, line, completion});
+    }
+
+    std::vector<Event> events;
+};
+
+class P1Test : public ::testing::Test
+{
+  protected:
+    P1Test() : emitter(mem), p1(&t2, &image)
+    {
+        t2.setId(1);
+        p1.setId(2);
+        mem.setListener(&fills);
+    }
+
+    void
+    drainFills()
+    {
+        while (!fills.events.empty()) {
+            const auto event = fills.events.front();
+            fills.events.erase(fills.events.begin());
+            emitter.setContext(2, event.completion);
+            p1.onFill(event.comp, event.line, event.completion,
+                      emitter);
+        }
+    }
+
+    /** Feed one retired instruction to T2 (train) and P1 (onInstr). */
+    void
+    feed(const Instr &instr, Pc m_pc = 0)
+    {
+        if (m_pc == 0)
+            m_pc = instr.pc;
+        now += 15;
+
+        RetireInfo retire;
+        retire.dispatch = now;
+        retire.issue = now;
+        retire.finish = now + 1;
+
+        if (instr.isMem()) {
+            const auto res =
+                mem.demandLoad(instr.addr, instr.pc, now);
+            retire.mem = res;
+            retire.finish = res.completion;
+
+            AccessInfo info;
+            info.pc = instr.pc;
+            info.mPc = m_pc;
+            info.addr = instr.addr;
+            info.isLoad = instr.isLoad();
+            info.l1Hit = res.l1Hit;
+            info.l1PrimaryMiss = res.l1PrimaryMiss;
+            info.value = instr.value;
+            info.when = now;
+            info.completion = res.completion;
+            emitter.setContext(1, now);
+            t2.train(info, emitter);
+        }
+        emitter.setContext(2, now);
+        p1.onInstr(instr, retire, m_pc, emitter);
+        drainFills();
+    }
+
+    /** Run one iteration of "p = arr[i]; use(p->field)". */
+    void
+    pointerArrayIteration(std::uint64_t index, Addr array_base,
+                          std::int64_t field_offset)
+    {
+        const Addr slot = array_base + index * 8;
+        const std::uint64_t object = image.read64(slot);
+        feed(makeLoad(0x100, slot, object, 10, 1));
+        feed(makeAlu(0x104, 11, 10));
+        feed(makeLoad(0x108, object + field_offset, 0, 12, 11));
+        feed(makeAlu(0x10c, 4, 4, 12));
+        feed(makeBranch(0x110, 0x100, true));
+    }
+
+    MemoryImage image;
+    MemorySystem mem;
+    FillQueueListener fills;
+    PrefetchEmitter emitter;
+    T2Prefetcher t2;
+    P1Prefetcher p1;
+    Cycle now = 0;
+};
+
+TEST_F(P1Test, ScoutConfirmsArrayOfPointers)
+{
+    // Build arr[i] -> scattered objects.
+    const Addr array_base = 0x10000000;
+    const Addr heap = 0x40000000;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        image.write64(array_base + i * 8,
+                      heap + ((i * 7919) % 4096) * 256);
+
+    for (std::uint64_t i = 0; i < 60; ++i)
+        pointerArrayIteration(i, array_base, 24);
+
+    // The producer is marked a strided-pointer instruction in the SIT
+    // and the dependent belongs to P1.
+    const SitEntry *sit = t2.sitLookup(0x100);
+    ASSERT_NE(sit, nullptr);
+    EXPECT_TRUE(sit->ptrProducer);
+    EXPECT_EQ(sit->ptrDelta, 24);
+    EXPECT_TRUE(p1.isDependent(0x108));
+    EXPECT_TRUE(p1.handles(0x108));
+    // And dependent prefetches were issued.
+    EXPECT_GT(mem.stats().comp[2].issued, 0u);
+}
+
+TEST_F(P1Test, ScoutIgnoresNonConstantOffsets)
+{
+    const Addr array_base = 0x10000000;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        image.write64(array_base + i * 8, 0x40000000 + i * 256);
+
+    // Dependent offset varies wildly: no confirmation.
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        const Addr slot = array_base + i * 8;
+        const std::uint64_t object = image.read64(slot);
+        feed(makeLoad(0x100, slot, object, 10, 1));
+        feed(makeAlu(0x104, 11, 10));
+        feed(makeLoad(0x108, object + (i * 4096) % 32768, 0, 12, 11));
+        feed(makeBranch(0x110, 0x100, true));
+    }
+    const SitEntry *sit = t2.sitLookup(0x100);
+    ASSERT_NE(sit, nullptr);
+    EXPECT_FALSE(sit->ptrProducer);
+    EXPECT_FALSE(p1.isDependent(0x108));
+}
+
+TEST_F(P1Test, ChainDetectionAndChasing)
+{
+    // Circular list with scattered nodes; link at offset 0.
+    const Addr pool = 0x20000000;
+    const std::uint64_t nodes = 512;
+    std::vector<Addr> order;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order.push_back(pool + ((i * 389) % nodes) * 128);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        image.write64(order[i], order[(i + 1) % nodes]);
+
+    Addr current = order[0];
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t next = image.read64(current);
+        feed(makeLoad(0x300, current, next, 10, 10));
+        feed(makeAlu(0x304, 4, 4, 10));
+        feed(makeBranch(0x308, 0x300, true));
+        current = next;
+    }
+
+    EXPECT_TRUE(p1.isChainConfirmed(0x300));
+    EXPECT_TRUE(p1.handles(0x300));
+    EXPECT_GT(p1.chainPrefetchesStarted(), 0u);
+    EXPECT_GT(mem.stats().comp[2].issued, 50u);
+    // Chain prefetches are highly accurate (paper: 86% in HHF).
+    const auto &comp = mem.stats().comp[2];
+    EXPECT_GT(static_cast<double>(comp.used),
+              0.8 * static_cast<double>(comp.issued));
+}
+
+TEST_F(P1Test, ChainResetsWhenListIsRewired)
+{
+    const Addr pool = 0x30000000;
+    const std::uint64_t nodes = 256;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        image.write64(pool + i * 128, pool + ((i + 1) % nodes) * 128);
+
+    Addr current = pool;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t next = image.read64(current);
+        feed(makeLoad(0x300, current, next, 10, 10));
+        current = next;
+    }
+    EXPECT_TRUE(p1.isChainConfirmed(0x300));
+
+    // The traversal jumps to unrelated random addresses: after the
+    // timeout the FSM must reset and unconfirm.
+    for (int i = 0; i < 32; ++i) {
+        const Addr junk = 0x70000000 + (i * 977 % 1024) * 4096;
+        feed(makeLoad(0x300, junk, 0, 10, 10));
+    }
+    EXPECT_FALSE(p1.isChainConfirmed(0x300));
+}
+
+TEST_F(P1Test, DependentTimeoutUnmarksProducer)
+{
+    const Addr array_base = 0x10000000;
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        image.write64(array_base + i * 8,
+                      0x40000000 + ((i * 31) % 4096) * 256);
+
+    for (std::uint64_t i = 0; i < 60; ++i)
+        pointerArrayIteration(i, array_base, 24);
+    ASSERT_TRUE(p1.isDependent(0x108));
+
+    // The dependent stops following value+24 and wanders randomly.
+    for (std::uint64_t i = 60; i < 100; ++i) {
+        const Addr slot = array_base + i * 8;
+        const std::uint64_t object = image.read64(slot);
+        feed(makeLoad(0x100, slot, object, 10, 1));
+        feed(makeAlu(0x104, 11, 10));
+        feed(makeLoad(0x108, 0x60000000 + i * 8192, 0, 12, 11));
+        feed(makeBranch(0x110, 0x100, true));
+    }
+    EXPECT_FALSE(p1.isDependent(0x108));
+    const SitEntry *sit = t2.sitLookup(0x100);
+    ASSERT_NE(sit, nullptr);
+    EXPECT_FALSE(sit->ptrProducer);
+}
+
+TEST_F(P1Test, StorageBudgetNearTableII)
+{
+    // Table II: P1 = 1.07 KB = 8766 bits.
+    const double bits = static_cast<double>(p1.storageBits());
+    EXPECT_GT(bits, 0.5 * 1.07 * 8 * 1024);
+    EXPECT_LT(bits, 1.5 * 1.07 * 8 * 1024);
+}
+
+} // namespace
+} // namespace dol

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the T2 stride component: the four-state instruction
+ * machine (paper IV-A.2), early prefetching, stream issue, distance
+ * control, and the mPC call-site disambiguation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/t2.hpp"
+#include "mem/memory_system.hpp"
+
+namespace dol
+{
+namespace
+{
+
+class T2Test : public ::testing::Test
+{
+  protected:
+    T2Test() : emitter(mem)
+    {
+        t2.setId(1);
+        emitter.setContext(1, 0);
+    }
+
+    /** Run one demand access through the hierarchy and train T2. */
+    AccessInfo
+    access(Pc pc, Addr addr)
+    {
+        now += 20;
+        const auto res = mem.demandLoad(addr, pc, now);
+        AccessInfo info;
+        info.pc = pc;
+        info.mPc = pc;
+        info.addr = addr;
+        info.isLoad = true;
+        info.l1Hit = res.l1Hit;
+        info.l1PrimaryMiss = res.l1PrimaryMiss;
+        info.l1HitPrefetched = res.l1HitPrefetched;
+        info.when = now;
+        info.completion = res.completion;
+        emitter.setContext(1, now);
+        t2.train(info, emitter);
+        return info;
+    }
+
+    MemorySystem mem;
+    PrefetchEmitter emitter;
+    T2Prefetcher t2;
+    Cycle now = 0;
+};
+
+TEST_F(T2Test, UnknownUntilPrimaryMiss)
+{
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kUnknown);
+    access(0x100, 0x10000);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kObservation);
+}
+
+TEST_F(T2Test, HitsDoNotStartObservation)
+{
+    // Warm the line with a different PC, then access with ours: a hit
+    // must not allocate tracking state.
+    access(0x900, 0x10000);
+    now += 100000;
+    access(0x100, 0x10000);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kUnknown);
+}
+
+TEST_F(T2Test, SixteenStableDeltasConfirmStrided)
+{
+    for (int i = 0; i <= 18; ++i)
+        access(0x100, 0x100000 + i * 64);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kStrided);
+    EXPECT_EQ(t2.lastConfirmedStrided(), 0x100u);
+}
+
+TEST_F(T2Test, FourChangingDeltasWriteOffInstruction)
+{
+    access(0x100, 0x100000);
+    access(0x100, 0x100040);
+    access(0x100, 0x105000);
+    access(0x100, 0x101000);
+    access(0x100, 0x170000);
+    access(0x100, 0x120000);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kNonStrided);
+}
+
+TEST_F(T2Test, EarlyPrefetchingAfterFourStableDeltas)
+{
+    // Stride of a full line so every prefetch targets a fresh line.
+    for (int i = 0; i < 6; ++i)
+        access(0x100, 0x200000 + i * 64);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kObservation);
+    EXPECT_GT(mem.stats().comp[1].issued, 0u)
+        << "prefetching must start in the observation state";
+}
+
+TEST_F(T2Test, StridedStreamCoversFutureLines)
+{
+    for (int i = 0; i < 40; ++i)
+        access(0x100, 0x300000 + i * 64);
+    // The line several iterations ahead must already be cached.
+    const Addr ahead = 0x300000 + 42 * 64;
+    EXPECT_NE(mem.cacheAt(kL1).find(ahead), nullptr);
+}
+
+TEST_F(T2Test, NegativeStrideWorks)
+{
+    for (int i = 0; i < 40; ++i)
+        access(0x100, 0x400000 - i * 64);
+    const Addr ahead = 0x400000 - 42 * 64;
+    EXPECT_NE(mem.cacheAt(kL1).find(ahead), nullptr);
+}
+
+TEST_F(T2Test, SubLineStrideIssuesLineGranular)
+{
+    for (int i = 0; i < 200; ++i)
+        access(0x100, 0x500000 + i * 8);
+    const MemStats &stats = mem.stats();
+    // 200 accesses cover 25 lines; the prefetcher must not have
+    // issued hundreds of duplicate requests.
+    EXPECT_LT(stats.comp[1].issued + stats.comp[1].filtered, 80u);
+    EXPECT_GT(stats.comp[1].issued, 10u);
+}
+
+TEST_F(T2Test, BrokenStreamReobserves)
+{
+    for (int i = 0; i <= 20; ++i)
+        access(0x100, 0x600000 + i * 64);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kStrided);
+    // The stream breaks: four consecutive delta changes.
+    access(0x100, 0x700000);
+    access(0x100, 0x703000);
+    access(0x100, 0x701000);
+    access(0x100, 0x709000);
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kObservation);
+}
+
+TEST_F(T2Test, MPcSeparatesCallSites)
+{
+    // The same static PC reached via two call sites (different mPC)
+    // tracks two independent streams.
+    for (int i = 0; i < 20; ++i) {
+        AccessInfo info;
+        info.pc = 0x100;
+        info.mPc = 0x100 ^ 0xa000; // site A
+        info.addr = 0x800000 + i * 64;
+        info.isLoad = true;
+        info.l1PrimaryMiss = true;
+        info.when = now += 10;
+        info.completion = info.when + 200;
+        emitter.setContext(1, info.when);
+        t2.train(info, emitter);
+
+        info.mPc = 0x100 ^ 0xb000; // site B
+        info.addr = 0xa00000 + i * 192;
+        emitter.setContext(1, now += 10);
+        t2.train(info, emitter);
+    }
+    EXPECT_EQ(t2.stateOf(0x100 ^ 0xa000), InstrState::kStrided);
+    EXPECT_EQ(t2.stateOf(0x100 ^ 0xb000), InstrState::kStrided);
+    // Without disambiguation the interleaved stream never stabilizes.
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kUnknown);
+}
+
+TEST_F(T2Test, DistanceGrowsWithAmatAndShrinksWithIterTime)
+{
+    // Without a confirmed loop the default distance applies.
+    EXPECT_EQ(t2.distance(), t2.params().defaultDistance);
+
+    // Confirm a fast loop: distance = (AMAT + margin) / T_iter.
+    RetireInfo retire;
+    for (int i = 0; i < 20; ++i) {
+        retire.finish = now += 10;
+        t2.onInstr(makeBranch(0x200, 0x180, true), retire, 0x200,
+                   emitter);
+    }
+    EXPECT_TRUE(t2.loops().inLoop());
+    const unsigned d = t2.distance();
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, t2.params().maxDistance);
+}
+
+/**
+ * Property sweep: T2 confirms and covers streams of any stride, in
+ * both directions, including sub-line and multi-line strides.
+ */
+class T2StrideSweep : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(T2StrideSweep, ConfirmsAndCoversArbitraryStrides)
+{
+    const std::int64_t stride = GetParam();
+    MemorySystem mem;
+    PrefetchEmitter emitter(mem);
+    T2Prefetcher t2;
+    t2.setId(1);
+
+    Cycle now = 0;
+    const Addr base = 0x40000000;
+    for (int i = 0; i < 300; ++i) {
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(base) + i * stride);
+        now += 25;
+        const auto res = mem.demandLoad(addr, 0x100, now);
+        AccessInfo info;
+        info.pc = 0x100;
+        info.mPc = 0x100;
+        info.addr = addr;
+        info.isLoad = true;
+        info.l1Hit = res.l1Hit;
+        info.l1PrimaryMiss = res.l1PrimaryMiss;
+        info.when = now;
+        info.completion = res.completion;
+        emitter.setContext(1, now);
+        t2.train(info, emitter);
+    }
+
+    EXPECT_EQ(t2.stateOf(0x100), InstrState::kStrided)
+        << "stride " << stride;
+    const SitEntry *entry = t2.sitLookup(0x100);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->delta, stride);
+    // The frontier must have advanced beyond the demand stream.
+    EXPECT_GT(mem.stats().comp[1].issued, 10u) << "stride " << stride;
+    const Addr ahead = static_cast<Addr>(
+        static_cast<std::int64_t>(base) + 302 * stride);
+    EXPECT_NE(mem.cacheAt(kL1).find(ahead), nullptr)
+        << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, T2StrideSweep,
+                         ::testing::Values<std::int64_t>(
+                             8, 16, 24, 64, 128, 200, 1024, 4096,
+                             -8, -64, -256, -4096));
+
+TEST_F(T2Test, StorageBudgetNearTableII)
+{
+    // Table II: T2 = 2.3 KB = 18841 bits.
+    const double bits = static_cast<double>(t2.storageBits());
+    EXPECT_GT(bits, 0.7 * 2.3 * 8 * 1024);
+    EXPECT_LT(bits, 1.3 * 2.3 * 8 * 1024);
+}
+
+} // namespace
+} // namespace dol

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * dolsim — command-line experiment driver.
+ *
+ * Runs any (workload, prefetcher) combination and reports the paper's
+ * metrics; supports sweeps over whole suites and CSV output for
+ * plotting.
+ *
+ *   dolsim --list
+ *   dolsim --workload libquantum.syn --prefetcher TPC
+ *   dolsim --suite spec --prefetcher TPC,SPP,BOP --instrs 300000 --csv
+ *   dolsim --workload mcf.syn --prefetcher TPC --dest l2
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "metrics/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/trace_file.hpp"
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> prefetchers{"TPC"};
+    std::uint64_t instrs = 200000;
+    bool csv = false;
+    bool list = false;
+    std::string record; ///< record first workload's trace to a file
+    std::string replay; ///< replay a trace file as the workload
+    std::string dest; ///< "", "l1", "l2", "stratified"
+};
+
+std::vector<std::string>
+splitCommas(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(value.substr(start));
+            break;
+        }
+        out.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: dolsim [options]\n"
+        "  --list                     list workloads and exit\n"
+        "  --workload NAME[,NAME...]  workloads to run\n"
+        "  --suite NAME               spec|crono|starbench|npb|all\n"
+        "  --prefetcher NAME[,...]    registry names (default TPC)\n"
+        "  --instrs N                 instruction budget (default "
+        "200000)\n"
+        "  --dest l1|l2|stratified    force/oracle prefetch "
+        "destination\n"
+        "  --record FILE              record the workload's trace\n"
+        "  --replay FILE              replay a recorded trace\n"
+        "  --csv                      machine-readable output\n");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                dol::fatal("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--workload") {
+            for (const auto &name : splitCommas(next()))
+                options.workloads.push_back(name);
+        } else if (arg == "--suite") {
+            const std::string suite = next();
+            for (const auto &spec : dol::allWorkloads()) {
+                if (suite == "all" || spec.suite == suite)
+                    options.workloads.push_back(spec.name);
+            }
+            if (options.workloads.empty())
+                dol::fatal("unknown suite: " + suite);
+        } else if (arg == "--prefetcher") {
+            options.prefetchers = splitCommas(next());
+        } else if (arg == "--instrs") {
+            options.instrs = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--dest") {
+            options.dest = next();
+        } else if (arg == "--record") {
+            options.record = next();
+        } else if (arg == "--replay") {
+            options.replay = next();
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            dol::fatal("unknown option: " + arg);
+        }
+    }
+    if (options.workloads.empty())
+        options.workloads.push_back("libquantum.syn");
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dol;
+    const Options options = parse(argc, argv);
+
+    if (options.list) {
+        TextTable table({"workload", "suite"});
+        for (const auto &spec : allWorkloads())
+            table.addRow({spec.name, spec.suite});
+        table.print();
+        return 0;
+    }
+
+    SimConfig config;
+    config.maxInstrs = options.instrs;
+    ExperimentRunner runner(config);
+
+    if (!options.record.empty()) {
+        const WorkloadSpec &spec = findWorkload(options.workloads[0]);
+        MemoryImage image;
+        auto kernel = spec.factory(image);
+        const std::uint64_t written =
+            recordTrace(*kernel, options.record, options.instrs);
+        std::printf("recorded %llu instructions of %s to %s\n",
+                    static_cast<unsigned long long>(written),
+                    spec.name.c_str(), options.record.c_str());
+        return 0;
+    }
+
+    RunOptions run_options;
+    if (options.dest == "l1")
+        run_options.forceDest = kL1;
+    else if (options.dest == "l2")
+        run_options.forceDest = kL2;
+    else if (options.dest == "stratified")
+        run_options.oracleDest = true;
+    else if (!options.dest.empty())
+        fatal("bad --dest value: " + options.dest);
+
+    if (options.csv) {
+        std::printf("workload,prefetcher,baseline_ipc,ipc,speedup,"
+                    "mpki,issued,scope,acc_l1,cov_l1,traffic\n");
+    }
+
+    std::vector<WorkloadSpec> specs;
+    if (!options.replay.empty()) {
+        const std::string path = options.replay;
+        specs.push_back(
+            {"replay:" + path, "trace", [path](MemoryImage &image) {
+                 return std::make_unique<TraceKernel>(image, path);
+             }});
+    } else {
+        for (const std::string &workload : options.workloads)
+            specs.push_back(findWorkload(workload));
+    }
+
+    TextTable table({"workload", "prefetcher", "speedup", "scope",
+                     "accL1", "covL1", "traffic"});
+    for (const WorkloadSpec &spec : specs) {
+        const std::string &workload = spec.name;
+        for (const std::string &pf : options.prefetchers) {
+            const RunOutput out = runner.run(spec, pf, run_options);
+            if (options.csv) {
+                std::printf(
+                    "%s,%s,%.4f,%.4f,%.4f,%.2f,%llu,%.4f,%.4f,%.4f,"
+                    "%.4f\n",
+                    workload.c_str(), pf.c_str(), out.baselineIpc,
+                    out.ipc, out.speedup(), out.baselineMpkiL1,
+                    static_cast<unsigned long long>(
+                        out.prefetchesIssued),
+                    out.scope, out.effAccuracyL1, out.effCoverageL1,
+                    out.trafficNormalized);
+            } else {
+                table.addRow({workload, pf, fmt("%.3f", out.speedup()),
+                              fmt("%.2f", out.scope),
+                              fmt("%.2f", out.effAccuracyL1),
+                              fmt("%.2f", out.effCoverageL1),
+                              fmt("%.3f", out.trafficNormalized)});
+            }
+        }
+    }
+    if (!options.csv)
+        table.print();
+    return 0;
+}
