@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_drop_policy.dir/abl_drop_policy.cpp.o"
+  "CMakeFiles/abl_drop_policy.dir/abl_drop_policy.cpp.o.d"
+  "abl_drop_policy"
+  "abl_drop_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_drop_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

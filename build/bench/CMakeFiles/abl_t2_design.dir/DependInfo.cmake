@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_t2_design.cpp" "bench/CMakeFiles/abl_t2_design.dir/abl_t2_design.cpp.o" "gcc" "bench/CMakeFiles/abl_t2_design.dir/abl_t2_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/dol_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dol_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dol_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dol_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dol_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

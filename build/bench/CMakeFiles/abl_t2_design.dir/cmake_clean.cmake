@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_t2_design.dir/abl_t2_design.cpp.o"
+  "CMakeFiles/abl_t2_design.dir/abl_t2_design.cpp.o.d"
+  "abl_t2_design"
+  "abl_t2_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_t2_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

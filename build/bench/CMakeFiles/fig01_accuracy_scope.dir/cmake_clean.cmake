@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_accuracy_scope.dir/fig01_accuracy_scope.cpp.o"
+  "CMakeFiles/fig01_accuracy_scope.dir/fig01_accuracy_scope.cpp.o.d"
+  "fig01_accuracy_scope"
+  "fig01_accuracy_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_accuracy_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

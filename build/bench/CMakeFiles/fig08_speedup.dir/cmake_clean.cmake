@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speedup.dir/fig08_speedup.cpp.o"
+  "CMakeFiles/fig08_speedup.dir/fig08_speedup.cpp.o.d"
+  "fig08_speedup"
+  "fig08_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

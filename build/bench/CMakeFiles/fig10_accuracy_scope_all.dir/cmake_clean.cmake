@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_scope_all.dir/fig10_accuracy_scope_all.cpp.o"
+  "CMakeFiles/fig10_accuracy_scope_all.dir/fig10_accuracy_scope_all.cpp.o.d"
+  "fig10_accuracy_scope_all"
+  "fig10_accuracy_scope_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_scope_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

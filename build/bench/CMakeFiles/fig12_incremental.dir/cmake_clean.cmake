@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_incremental.dir/fig12_incremental.cpp.o"
+  "CMakeFiles/fig12_incremental.dir/fig12_incremental.cpp.o.d"
+  "fig12_incremental"
+  "fig12_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

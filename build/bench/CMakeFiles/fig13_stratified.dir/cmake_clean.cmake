@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stratified.dir/fig13_stratified.cpp.o"
+  "CMakeFiles/fig13_stratified.dir/fig13_stratified.cpp.o.d"
+  "fig13_stratified"
+  "fig13_stratified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_components.dir/fig14_components.cpp.o"
+  "CMakeFiles/fig14_components.dir/fig14_components.cpp.o.d"
+  "fig14_components"
+  "fig14_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_shunting.dir/fig15_shunting.cpp.o"
+  "CMakeFiles/fig15_shunting.dir/fig15_shunting.cpp.o.d"
+  "fig15_shunting"
+  "fig15_shunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_shunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

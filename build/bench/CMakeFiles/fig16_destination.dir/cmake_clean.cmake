@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_destination.dir/fig16_destination.cpp.o"
+  "CMakeFiles/fig16_destination.dir/fig16_destination.cpp.o.d"
+  "fig16_destination"
+  "fig16_destination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_destination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_storage.dir/tab2_storage.cpp.o"
+  "CMakeFiles/tab2_storage.dir/tab2_storage.cpp.o.d"
+  "tab2_storage"
+  "tab2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

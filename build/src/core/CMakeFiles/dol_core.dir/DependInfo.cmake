@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/c1.cpp" "src/core/CMakeFiles/dol_core.dir/c1.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/c1.cpp.o.d"
+  "/root/repo/src/core/composite.cpp" "src/core/CMakeFiles/dol_core.dir/composite.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/composite.cpp.o.d"
+  "/root/repo/src/core/loop_detector.cpp" "src/core/CMakeFiles/dol_core.dir/loop_detector.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/loop_detector.cpp.o.d"
+  "/root/repo/src/core/p1.cpp" "src/core/CMakeFiles/dol_core.dir/p1.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/p1.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/dol_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/t2.cpp" "src/core/CMakeFiles/dol_core.dir/t2.cpp.o" "gcc" "src/core/CMakeFiles/dol_core.dir/t2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dol_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/dol_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_core.dir/c1.cpp.o"
+  "CMakeFiles/dol_core.dir/c1.cpp.o.d"
+  "CMakeFiles/dol_core.dir/composite.cpp.o"
+  "CMakeFiles/dol_core.dir/composite.cpp.o.d"
+  "CMakeFiles/dol_core.dir/loop_detector.cpp.o"
+  "CMakeFiles/dol_core.dir/loop_detector.cpp.o.d"
+  "CMakeFiles/dol_core.dir/p1.cpp.o"
+  "CMakeFiles/dol_core.dir/p1.cpp.o.d"
+  "CMakeFiles/dol_core.dir/registry.cpp.o"
+  "CMakeFiles/dol_core.dir/registry.cpp.o.d"
+  "CMakeFiles/dol_core.dir/t2.cpp.o"
+  "CMakeFiles/dol_core.dir/t2.cpp.o.d"
+  "libdol_core.a"
+  "libdol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

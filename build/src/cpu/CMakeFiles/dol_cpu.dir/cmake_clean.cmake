@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_cpu.dir/core.cpp.o"
+  "CMakeFiles/dol_cpu.dir/core.cpp.o.d"
+  "libdol_cpu.a"
+  "libdol_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

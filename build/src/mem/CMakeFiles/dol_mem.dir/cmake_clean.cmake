@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_mem.dir/cache.cpp.o"
+  "CMakeFiles/dol_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/dol_mem.dir/dram.cpp.o"
+  "CMakeFiles/dol_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/dol_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/dol_mem.dir/memory_system.cpp.o.d"
+  "libdol_mem.a"
+  "libdol_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

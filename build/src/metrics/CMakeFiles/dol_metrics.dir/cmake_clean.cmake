@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_metrics.dir/accounting.cpp.o"
+  "CMakeFiles/dol_metrics.dir/accounting.cpp.o.d"
+  "libdol_metrics.a"
+  "libdol_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

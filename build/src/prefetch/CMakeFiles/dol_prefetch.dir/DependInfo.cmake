@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ampm.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/ampm.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/ampm.cpp.o.d"
+  "/root/repo/src/prefetch/bop.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/bop.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/bop.cpp.o.d"
+  "/root/repo/src/prefetch/fdp.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/fdp.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/fdp.cpp.o.d"
+  "/root/repo/src/prefetch/ghb_pcdc.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/ghb_pcdc.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/ghb_pcdc.cpp.o.d"
+  "/root/repo/src/prefetch/isb.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/isb.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/isb.cpp.o.d"
+  "/root/repo/src/prefetch/markov.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/markov.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/markov.cpp.o.d"
+  "/root/repo/src/prefetch/sms.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/sms.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/sms.cpp.o.d"
+  "/root/repo/src/prefetch/spp.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/spp.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/spp.cpp.o.d"
+  "/root/repo/src/prefetch/vldp.cpp" "src/prefetch/CMakeFiles/dol_prefetch.dir/vldp.cpp.o" "gcc" "src/prefetch/CMakeFiles/dol_prefetch.dir/vldp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dol_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

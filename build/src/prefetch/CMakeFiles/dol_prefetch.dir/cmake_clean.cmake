@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_prefetch.dir/ampm.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/ampm.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/bop.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/bop.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/fdp.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/fdp.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/ghb_pcdc.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/ghb_pcdc.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/isb.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/isb.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/markov.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/markov.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/sms.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/sms.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/spp.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/spp.cpp.o.d"
+  "CMakeFiles/dol_prefetch.dir/vldp.cpp.o"
+  "CMakeFiles/dol_prefetch.dir/vldp.cpp.o.d"
+  "libdol_prefetch.a"
+  "libdol_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdol_prefetch.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_sim.dir/experiment.cpp.o"
+  "CMakeFiles/dol_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/dol_sim.dir/multicore.cpp.o"
+  "CMakeFiles/dol_sim.dir/multicore.cpp.o.d"
+  "CMakeFiles/dol_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dol_sim.dir/simulator.cpp.o.d"
+  "libdol_sim.a"
+  "libdol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/irregular_kernels.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/irregular_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/irregular_kernels.cpp.o.d"
+  "/root/repo/src/workloads/mixed_kernels.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/mixed_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/mixed_kernels.cpp.o.d"
+  "/root/repo/src/workloads/pointer_kernels.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/pointer_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/pointer_kernels.cpp.o.d"
+  "/root/repo/src/workloads/stream_kernels.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/stream_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/stream_kernels.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/trace_file.cpp" "src/workloads/CMakeFiles/dol_workloads.dir/trace_file.cpp.o" "gcc" "src/workloads/CMakeFiles/dol_workloads.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/dol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dol_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_workloads.dir/irregular_kernels.cpp.o"
+  "CMakeFiles/dol_workloads.dir/irregular_kernels.cpp.o.d"
+  "CMakeFiles/dol_workloads.dir/mixed_kernels.cpp.o"
+  "CMakeFiles/dol_workloads.dir/mixed_kernels.cpp.o.d"
+  "CMakeFiles/dol_workloads.dir/pointer_kernels.cpp.o"
+  "CMakeFiles/dol_workloads.dir/pointer_kernels.cpp.o.d"
+  "CMakeFiles/dol_workloads.dir/stream_kernels.cpp.o"
+  "CMakeFiles/dol_workloads.dir/stream_kernels.cpp.o.d"
+  "CMakeFiles/dol_workloads.dir/suite.cpp.o"
+  "CMakeFiles/dol_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/dol_workloads.dir/trace_file.cpp.o"
+  "CMakeFiles/dol_workloads.dir/trace_file.cpp.o.d"
+  "libdol_workloads.a"
+  "libdol_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_prefetchers.dir/test_baseline_prefetchers.cpp.o"
+  "CMakeFiles/test_baseline_prefetchers.dir/test_baseline_prefetchers.cpp.o.d"
+  "test_baseline_prefetchers"
+  "test_baseline_prefetchers.pdb"
+  "test_baseline_prefetchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

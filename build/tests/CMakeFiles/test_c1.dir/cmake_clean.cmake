@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c1.dir/test_c1.cpp.o"
+  "CMakeFiles/test_c1.dir/test_c1.cpp.o.d"
+  "test_c1"
+  "test_c1.pdb"
+  "test_c1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_c1.
+# This may be replaced when dependencies are built.

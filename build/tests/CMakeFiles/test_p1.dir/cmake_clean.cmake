@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p1.dir/test_p1.cpp.o"
+  "CMakeFiles/test_p1.dir/test_p1.cpp.o.d"
+  "test_p1"
+  "test_p1.pdb"
+  "test_p1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_t2.dir/test_t2.cpp.o"
+  "CMakeFiles/test_t2.dir/test_t2.cpp.o.d"
+  "test_t2"
+  "test_t2.pdb"
+  "test_t2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_t2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

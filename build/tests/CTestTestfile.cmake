@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_loop_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_t2[1]_include.cmake")
+include("/root/repo/build/tests/test_p1[1]_include.cmake")
+include("/root/repo/build/tests/test_c1[1]_include.cmake")
+include("/root/repo/build/tests/test_composite[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_prefetchers[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dolsim.dir/dolsim.cpp.o"
+  "CMakeFiles/dolsim.dir/dolsim.cpp.o.d"
+  "dolsim"
+  "dolsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dolsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
