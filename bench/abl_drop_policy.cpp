@@ -6,10 +6,9 @@
  * (paper: ~6%% average gain in a multicore environment).
  */
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "bench/harness.hpp"
@@ -45,42 +44,37 @@ stressedConfig(dol::DropPolicy policy)
     return config;
 }
 
+/** One parallel job per mix; rows() is keyed by mix index, so the
+ *  summary is schedule-independent. */
 void
-registerMix(unsigned mix_index)
+registerMix(dol::bench::Collector &collector, unsigned mix_index)
 {
     using namespace dol;
     const std::string label = "drop_policy/mix" +
                               std::to_string(mix_index);
-    benchmark::RegisterBenchmark(
-        label.c_str(),
-        [mix_index](benchmark::State &state) {
-            for (auto _ : state) {
-                const auto mixes = makeMixes(kNumMixes, 4242);
+    collector.addJob(label, [mix_index](ExperimentRunner &) {
+        const auto mixes = makeMixes(kNumMixes, 4242);
 
-                MulticoreSimulator base(
-                    stressedConfig(DropPolicy::kRandomPrefetch),
-                    mixes[mix_index], "");
-                const MulticoreResult baseline = base.run();
+        MulticoreSimulator base(
+            stressedConfig(DropPolicy::kRandomPrefetch),
+            mixes[mix_index], "");
+        const MulticoreResult baseline = base.run();
 
-                MulticoreSimulator random_policy(
-                    stressedConfig(DropPolicy::kRandomPrefetch),
-                    mixes[mix_index], "TPC");
-                MulticoreSimulator smart_policy(
-                    stressedConfig(DropPolicy::kLowPriorityPrefetch),
-                    mixes[mix_index], "TPC");
+        MulticoreSimulator random_policy(
+            stressedConfig(DropPolicy::kRandomPrefetch),
+            mixes[mix_index], "TPC");
+        MulticoreSimulator smart_policy(
+            stressedConfig(DropPolicy::kLowPriorityPrefetch),
+            mixes[mix_index], "TPC");
 
-                Row row;
-                row.randomWs =
-                    random_policy.run().weightedSpeedup(baseline);
-                row.smartWs =
-                    smart_policy.run().weightedSpeedup(baseline);
-                rows()[mix_index] = row;
-                state.counters["random"] = row.randomWs;
-                state.counters["smart"] = row.smartWs;
-            }
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+        Row row;
+        row.randomWs = random_policy.run().weightedSpeedup(baseline);
+        row.smartWs = smart_policy.run().weightedSpeedup(baseline);
+        static std::mutex mutex;
+        std::lock_guard lock(mutex);
+        rows()[mix_index] = row;
+        return std::vector<RunOutput>{};
+    });
 }
 
 void
@@ -113,7 +107,9 @@ printSummary()
 int
 main(int argc, char **argv)
 {
+    static dol::bench::Collector collector(35000);
     for (unsigned m = 0; m < kNumMixes; ++m)
-        registerMix(m);
-    return dol::bench::benchMain(argc, argv, printSummary);
+        registerMix(collector, m);
+    return dol::bench::benchMain(argc, argv, &collector,
+                                 printSummary);
 }

@@ -113,5 +113,5 @@ main(int argc, char **argv)
                      params.earlyThreshold = 255;
                  }));
 
-    return benchMain(argc, argv, printSummary);
+    return benchMain(argc, argv, &collector(), printSummary);
 }

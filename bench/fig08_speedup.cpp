@@ -85,5 +85,5 @@ main(int argc, char **argv)
         for (const dol::WorkloadSpec &spec : dol::speclikeSuite())
             dol::bench::registerCell(collector(), spec, pf);
     }
-    return dol::bench::benchMain(argc, argv, printSummary);
+    return dol::bench::benchMain(argc, argv, &collector(), printSummary);
 }

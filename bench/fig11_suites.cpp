@@ -6,10 +6,9 @@
  * 1.39 vs 1.22-1.31 over 68 workloads).
  */
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <map>
+#include <mutex>
 
 #include "bench/harness.hpp"
 #include "core/registry.hpp"
@@ -41,11 +40,14 @@ mixRecords()
     return records;
 }
 
-const dol::MulticoreResult &
+/** Baseline mix runs, computed once and shared across worker jobs. */
+dol::MulticoreResult
 mixBaseline(unsigned mix_index)
 {
     using namespace dol;
+    static std::mutex mutex;
     static std::map<unsigned, MulticoreResult> cache;
+    std::lock_guard lock(mutex);
     auto it = cache.find(mix_index);
     if (it == cache.end()) {
         SimConfig config = makeBenchConfig(40000);
@@ -56,29 +58,31 @@ mixBaseline(unsigned mix_index)
     return it->second;
 }
 
+/**
+ * One parallel job per (prefetcher, mix); the record lands in a
+ * pre-assigned slot so output order is schedule-independent.
+ */
 void
-registerMix(unsigned mix_index, const std::string &prefetcher)
+registerMix(unsigned mix_index, const std::string &prefetcher,
+            std::size_t slot)
 {
     using namespace dol;
     const std::string label =
         prefetcher + "/mix" + std::to_string(mix_index);
-    benchmark::RegisterBenchmark(
-        label.c_str(),
-        [mix_index, prefetcher](benchmark::State &state) {
-            double ws = 1.0;
-            for (auto _ : state) {
-                SimConfig config = makeBenchConfig(40000);
-                const auto mixes = makeMixes(kNumMixes, 2018);
-                MulticoreSimulator sim(config, mixes[mix_index],
-                                       prefetcher);
-                const MulticoreResult result = sim.run();
-                ws = result.weightedSpeedup(mixBaseline(mix_index));
-            }
-            state.counters["weighted_speedup"] = ws;
-            mixRecords().push_back({prefetcher, mix_index, ws});
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    mixRecords().resize(
+        std::max(mixRecords().size(), slot + 1));
+    collector().addJob(
+        label, [mix_index, prefetcher, slot](ExperimentRunner &) {
+            SimConfig config = makeBenchConfig(40000);
+            const auto mixes = makeMixes(kNumMixes, 2018);
+            MulticoreSimulator sim(config, mixes[mix_index],
+                                   prefetcher);
+            const MulticoreResult result = sim.run();
+            mixRecords()[slot] = {
+                prefetcher, mix_index,
+                result.weightedSpeedup(mixBaseline(mix_index))};
+            return std::vector<RunOutput>{};
+        });
 }
 
 void
@@ -124,11 +128,13 @@ printSummary()
 int
 main(int argc, char **argv)
 {
+    std::size_t slot = 0;
     for (const std::string &pf : dol::figureEightPrefetcherNames()) {
         for (const dol::WorkloadSpec &spec : dol::allWorkloads())
             dol::bench::registerCell(collector(), spec, pf);
         for (unsigned m = 0; m < kNumMixes; ++m)
-            registerMix(m, pf);
+            registerMix(m, pf, slot++);
     }
-    return dol::bench::benchMain(argc, argv, printSummary);
+    return dol::bench::benchMain(argc, argv, &collector(),
+                                 printSummary);
 }

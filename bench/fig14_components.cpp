@@ -5,9 +5,11 @@
  * exclude set is TPC's own prefetching footprint). The paper's
  * finding: as a coordinated component, each design's accuracy in that
  * region improves (e.g. SMS 27%% -> 43%%).
+ *
+ * Each (design, workload) is one parallel job running the dependent
+ * chain TPC -> alone -> composed; the suite-weighted aggregation
+ * happens after the sweep, in registration order.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
@@ -33,13 +35,6 @@ struct Cell
     FocusResult composed;
 };
 
-std::map<std::string, Cell> &
-cells()
-{
-    static std::map<std::string, Cell> instance;
-    return instance;
-}
-
 dol::bench::Collector &
 collector()
 {
@@ -51,64 +46,67 @@ void
 registerExtra(const std::string &extra)
 {
     using namespace dol;
-    const std::string label = "fig14/" + extra;
-    benchmark::RegisterBenchmark(
-        label.c_str(),
-        [extra](benchmark::State &state) {
-            for (auto _ : state) {
-                double alone_acc = 0, alone_scope = 0;
-                double comp_acc = 0, comp_scope = 0, weight = 0;
-                std::uint64_t alone_issued = 0, comp_issued = 0;
+    for (const WorkloadSpec &spec : speclikeSuite()) {
+        const std::string label =
+            "fig14/" + extra + "/" + spec.name;
+        collector().addJob(
+            label, [extra, spec](ExperimentRunner &runner) {
+                // TPC's footprint defines the uncovered region.
+                const RunOutput tpc = runner.run(spec, "TPC");
 
-                for (const WorkloadSpec &spec : speclikeSuite()) {
-                    // TPC's footprint defines the uncovered region.
-                    const RunOutput tpc =
-                        collector().runner().run(spec, "TPC");
-
-                    RunOptions focus;
-                    focus.exclude = tpc.pfp;
-                    const RunOutput alone = collector().runner().run(
-                        spec, extra, focus);
-                    const RunOutput composed =
-                        collector().runner().run(spec, "TPC+" + extra,
-                                                 focus);
-
-                    const double w = alone.baselineMpkiL1 + 1e-9;
-                    alone_acc +=
-                        alone.focus.effectiveAccuracy() * w;
-                    alone_scope += alone.focusScope * w;
-                    alone_issued += alone.focus.issued;
-                    comp_acc +=
-                        composed.focus.effectiveAccuracy() * w;
-                    comp_scope += composed.focusScope * w;
-                    comp_issued += composed.focus.issued;
-                    weight += w;
-                }
-                Cell cell;
-                cell.alone = {alone_acc / weight,
-                              alone_scope / weight, alone_issued};
-                cell.composed = {comp_acc / weight,
-                                 comp_scope / weight, comp_issued};
-                cells()[extra] = cell;
-                state.counters["alone_acc"] = cell.alone.accuracy;
-                state.counters["composed_acc"] =
-                    cell.composed.accuracy;
-            }
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+                RunOptions focus;
+                focus.exclude = tpc.pfp;
+                std::vector<RunOutput> out;
+                out.push_back(runner.run(spec, extra, focus));
+                out.push_back(
+                    runner.run(spec, "TPC+" + extra, focus));
+                return out;
+            });
+    }
 }
 
 void
 printSummary()
 {
     using namespace dol;
+    std::map<std::string, Cell> cells;
+    for (const char *extra : kExtras) {
+        double alone_acc = 0, alone_scope = 0;
+        double comp_acc = 0, comp_scope = 0, weight = 0;
+        std::uint64_t alone_issued = 0, comp_issued = 0;
+
+        const auto alone_runs = collector().byPrefetcher(extra);
+        const auto comp_runs =
+            collector().byPrefetcher("TPC+" + std::string(extra));
+        for (std::size_t i = 0;
+             i < alone_runs.size() && i < comp_runs.size(); ++i) {
+            const RunOutput &alone = *alone_runs[i];
+            const RunOutput &composed = *comp_runs[i];
+            const double w = alone.baselineMpkiL1 + 1e-9;
+            alone_acc += alone.focus.effectiveAccuracy() * w;
+            alone_scope += alone.focusScope * w;
+            alone_issued += alone.focus.issued;
+            comp_acc += composed.focus.effectiveAccuracy() * w;
+            comp_scope += composed.focusScope * w;
+            comp_issued += composed.focus.issued;
+            weight += w;
+        }
+        if (weight > 0) {
+            Cell cell;
+            cell.alone = {alone_acc / weight, alone_scope / weight,
+                          alone_issued};
+            cell.composed = {comp_acc / weight, comp_scope / weight,
+                             comp_issued};
+            cells[extra] = cell;
+        }
+    }
+
     std::printf("\n== Figure 14: alone vs as-a-TPC-component, inside "
                 "the region TPC does not cover ==\n");
     TextTable table({"design", "alone acc", "alone scope",
                      "component acc", "component scope"});
     for (const char *extra : kExtras) {
-        const Cell &cell = cells()[extra];
+        const Cell &cell = cells[extra];
         table.addRow({extra, fmt("%.2f", cell.alone.accuracy),
                       fmt("%.2f", cell.alone.scope),
                       fmt("%.2f", cell.composed.accuracy),
@@ -126,5 +124,6 @@ main(int argc, char **argv)
 {
     for (const char *extra : kExtras)
         registerExtra(extra);
-    return dol::bench::benchMain(argc, argv, printSummary);
+    return dol::bench::benchMain(argc, argv, &collector(),
+                                 printSummary);
 }

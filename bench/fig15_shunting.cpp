@@ -78,5 +78,5 @@ main(int argc, char **argv)
                                 std::string("SHUNT:TPC+") + extra);
         }
     }
-    return bench::benchMain(argc, argv, printSummary);
+    return bench::benchMain(argc, argv, &collector(), printSummary);
 }

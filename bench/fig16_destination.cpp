@@ -77,5 +77,5 @@ main(int argc, char **argv)
                                 ":strat");
         }
     }
-    return bench::benchMain(argc, argv, printSummary);
+    return bench::benchMain(argc, argv, &collector(), printSummary);
 }

@@ -2,11 +2,18 @@
  * @file
  * Shared scaffolding for the experiment benchmarks.
  *
- * Every bench binary is a google-benchmark executable: each
- * (workload, prefetcher) cell of the paper's figure is registered as
- * one benchmark iteration whose runtime is the simulation itself, with
- * headline metrics attached as counters. After the benchmark pass, the
- * binary prints the paper-style summary table for EXPERIMENTS.md.
+ * Every bench binary queues its (workload, prefetcher) cells — or
+ * custom jobs for dependent/multicore flows — on a Collector, then
+ * calls benchMain(), which runs the whole grid in parallel on the
+ * runner subsystem (SweepRunner): deterministic per-cell seeding, a
+ * shared baseline cache, per-job wall time and a live progress line.
+ * Results land in registration order regardless of worker count, so
+ * the paper-style summary tables are bit-identical for any --jobs N.
+ * Binaries that also register native google-benchmark timings (the
+ * throughput/storage tables) still get them run by benchMain().
+ *
+ * Common flags: --jobs N (default: hardware threads, or DOL_JOBS),
+ * --json FILE (dol-sweep-v1 structured results), --quiet.
  */
 
 #ifndef DOL_BENCH_HARNESS_HPP
@@ -14,44 +21,74 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "metrics/table.hpp"
+#include "runner/sweep.hpp"
 #include "sim/experiment.hpp"
 #include "workloads/suite.hpp"
 
 namespace dol::bench
 {
 
-/** Shared runner + result store for one bench binary. */
+/** Queued sweep + result store for one bench binary. */
 class Collector
 {
   public:
     explicit Collector(std::uint64_t max_instrs = 200000)
-        : _runner(makeBenchConfig(max_instrs))
+        : _config(makeBenchConfig(max_instrs)), _sweep(_config)
     {}
 
-    ExperimentRunner &runner() { return _runner; }
+    const SimConfig &config() const { return _config; }
 
-    RunOutput &
-    record(RunOutput out)
+    /** Queue one plain (workload, prefetcher) cell. */
+    void
+    addCell(const WorkloadSpec &spec, const std::string &prefetcher,
+            RunOptions options = {},
+            const std::string &label_suffix = "")
     {
-        _results.push_back(std::move(out));
-        return _results.back();
+        _sweep.addCell(spec, prefetcher, std::move(options),
+                       label_suffix);
     }
 
-    const std::vector<RunOutput> &results() const { return _results; }
+    /**
+     * Queue a custom job (multicore mixes, dependent run chains).
+     * The body runs on a worker with a job-private ExperimentRunner
+     * sharing this binary's baseline cache; returned outputs are
+     * recorded in registration order.
+     */
+    void
+    addJob(const std::string &label, runner::JobBody body)
+    {
+        _sweep.addJob(label, std::move(body));
+    }
 
-    /** All results of one prefetcher, in run order. */
+    /** Execute every queued job; fills results(). */
+    void
+    runAll(runner::SweepOptions options)
+    {
+        _sweep.setOptions(options);
+        runner::SweepRunner::Report report = _sweep.run();
+        _outputs = std::move(report.outputs);
+        _store = std::move(report.store);
+        _meta = std::move(report.meta);
+        _meta.generator = "bench";
+    }
+
+    const std::vector<RunOutput> &results() const { return _outputs; }
+    const runner::ResultStore &store() const { return _store; }
+    const runner::SweepMeta &meta() const { return _meta; }
+
+    /** All results of one prefetcher, in registration order. */
     std::vector<const RunOutput *>
     byPrefetcher(const std::string &name) const
     {
         std::vector<const RunOutput *> out;
-        for (const RunOutput &result : _results) {
+        for (const RunOutput &result : _outputs) {
             if (result.prefetcher == name)
                 out.push_back(&result);
         }
@@ -93,49 +130,84 @@ class Collector
     }
 
   private:
-    ExperimentRunner _runner;
-    std::vector<RunOutput> _results;
+    SimConfig _config;
+    runner::SweepRunner _sweep;
+    std::vector<RunOutput> _outputs;
+    runner::ResultStore _store;
+    runner::SweepMeta _meta;
 };
 
-/**
- * Register one (workload, prefetcher) cell. The simulation runs once
- * inside the benchmark loop; counters expose the headline metrics.
- */
+/** Queue one (workload, prefetcher) cell of the figure's grid. */
 inline void
 registerCell(Collector &collector, const WorkloadSpec &spec,
              const std::string &prefetcher, RunOptions options = {},
              const std::string &label_suffix = "")
 {
-    const std::string label =
-        prefetcher + "/" + spec.name + label_suffix;
-    benchmark::RegisterBenchmark(
-        label.c_str(),
-        [&collector, spec, prefetcher,
-         options = std::move(options)](benchmark::State &state) {
-            RunOutput out;
-            for (auto _ : state)
-                out = collector.runner().run(spec, prefetcher, options);
-            state.counters["speedup"] = out.speedup();
-            state.counters["acc_L1"] = out.effAccuracyL1;
-            state.counters["scope"] = out.scope;
-            state.counters["traffic"] = out.trafficNormalized;
-            collector.record(std::move(out));
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+    collector.addCell(spec, prefetcher, std::move(options),
+                      label_suffix);
 }
 
-/** Standard bench main: run benchmarks, then print the table. */
+/**
+ * Standard bench main: run the queued sweep in parallel, run any
+ * native google-benchmark registrations, then print the summary
+ * table. @p collector may be null for binaries with no sweep.
+ */
+inline int
+benchMain(int argc, char **argv, Collector *collector,
+          const std::function<void()> &summary)
+{
+    runner::SweepOptions sweep_options;
+    std::string json_path;
+
+    if (const char *env = std::getenv("DOL_JOBS")) {
+        sweep_options.jobs = static_cast<unsigned>(
+            std::strtoul(env, nullptr, 10));
+    }
+
+    // Strip runner flags before handing the rest to google-benchmark.
+    std::vector<char *> remaining{argv, argv + 1};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            sweep_options.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--quiet") {
+            sweep_options.progress = false;
+        } else {
+            remaining.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(remaining.size());
+
+    benchmark::Initialize(&bench_argc, remaining.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               remaining.data()))
+        return 1;
+
+    if (collector)
+        collector->runAll(sweep_options);
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (collector && !json_path.empty()) {
+        if (!collector->store().writeJsonFile(json_path,
+                                              collector->meta()))
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+    }
+
+    summary();
+    return 0;
+}
+
+/** Overload for binaries with no sweep (native benchmarks only). */
 inline int
 benchMain(int argc, char **argv, const std::function<void()> &summary)
 {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    summary();
-    return 0;
+    return benchMain(argc, argv, nullptr, summary);
 }
 
 } // namespace dol::bench

@@ -6,7 +6,8 @@ namespace dol
 {
 
 Dram::Dram(const DramParams &params)
-    : _params(params), _channels(params.channels)
+    : _params(params), _channels(params.channels),
+      _rng(params.rngSeed)
 {
     for (Channel &channel : _channels) {
         channel.banks.resize(params.ranksPerChannel *

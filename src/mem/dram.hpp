@@ -64,6 +64,13 @@ struct DramParams
     unsigned queueCapacity = 64;
 
     DropPolicy dropPolicy = DropPolicy::kRandomPrefetch;
+
+    /**
+     * Seed for the random-drop victim RNG. Parallel sweeps derive
+     * this from the cell key so a run's drop decisions never depend
+     * on which worker thread executed it.
+     */
+    std::uint64_t rngSeed = 0xd0a11a5ull;
 };
 
 struct DramStats
@@ -158,7 +165,7 @@ class Dram
     DramStats _stats;
     /** Monotonic controller clock for occupancy decisions. */
     Cycle _clock = 0;
-    Rng _rng{0xd0a11a5ull};
+    Rng _rng;
     CancelHook _cancel;
 };
 

@@ -1,0 +1,370 @@
+#include "runner/json_reader.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dol::runner
+{
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v._type = Type::kBool;
+    v._bool = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v._type = Type::kNumber;
+    v._number = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v._type = Type::kString;
+    v._string = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v._type = Type::kArray;
+    v._array = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> o)
+{
+    JsonValue v;
+    v._type = Type::kObject;
+    v._object = std::move(o);
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (_type != Type::kObject)
+        return nullptr;
+    const auto it = _object.find(name);
+    return it == _object.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &name, double fallback) const
+{
+    const JsonValue *v = find(name);
+    return v && v->type() == Type::kNumber ? v->number() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &name,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(name);
+    return v && v->type() == Type::kString ? v->str() : fallback;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : _text(text), _error(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (_error) {
+            *_error = message + " at offset " + std::to_string(_pos);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return false;
+        _pos += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        const char c = _text[_pos];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+              std::string s;
+              if (!parseString(s))
+                  return false;
+              out = JsonValue::makeString(std::move(s));
+              return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue::makeNull();
+            return true;
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-')) {
+            ++_pos;
+        }
+        if (_pos == start)
+            return fail("expected value");
+        const std::string token(_text.substr(start, _pos - start));
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("bad number '" + token + "'");
+        out = JsonValue::makeNumber(value);
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++_pos; // opening quote
+        out.clear();
+        while (_pos < _text.size()) {
+            const char c = _text[_pos];
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (_pos + 1 >= _text.size())
+                    return fail("dangling escape");
+                const char esc = _text[_pos + 1];
+                _pos += 2;
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                      if (_pos + 4 > _text.size())
+                          return fail("short \\u escape");
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          const char h = _text[_pos + i];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(
+                                  h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(
+                                  h - 'A' + 10);
+                          else
+                              return fail("bad \\u escape");
+                      }
+                      _pos += 4;
+                      appendUtf8(out, code);
+                      break;
+                  }
+                  default: return fail("unknown escape");
+                }
+            } else {
+                out.push_back(c);
+                ++_pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        ++_pos; // '['
+        std::vector<JsonValue> elems;
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            out = JsonValue::makeArray(std::move(elems));
+            return true;
+        }
+        for (;;) {
+            JsonValue elem;
+            skipSpace();
+            if (!parseValue(elem))
+                return false;
+            elems.push_back(std::move(elem));
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                ++_pos;
+                out = JsonValue::makeArray(std::move(elems));
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        ++_pos; // '{'
+        std::map<std::string, JsonValue> members;
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected member name");
+            std::string name;
+            if (!parseString(name))
+                return false;
+            skipSpace();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':'");
+            ++_pos;
+            skipSpace();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            members.emplace(std::move(name), std::move(member));
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                ++_pos;
+                out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view _text;
+    std::string *_error;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string *error)
+{
+    return Parser(text, error).parse(out);
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out,
+              std::string *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::string text;
+    char buffer[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        text.append(buffer, got);
+    std::fclose(file);
+    return parseJson(text, out, error);
+}
+
+} // namespace dol::runner

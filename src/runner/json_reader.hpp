@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser: just enough for tools and
+ * tests to read back the runner's structured result files (round-trip
+ * checks, result post-processing) without an external dependency.
+ *
+ * Supports the full JSON value grammar with \uXXXX escapes decoded to
+ * UTF-8. Numbers parse as double; integral values round-trip exactly
+ * up to 2^53, which covers every counter the simulator emits into the
+ * metric rows.
+ */
+
+#ifndef DOL_RUNNER_JSON_READER_HPP
+#define DOL_RUNNER_JSON_READER_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dol::runner
+{
+
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::kNull; }
+
+    bool boolean() const { return _bool; }
+    double number() const { return _number; }
+    const std::string &str() const { return _string; }
+    const std::vector<JsonValue> &array() const { return _array; }
+    const std::map<std::string, JsonValue> &object() const
+    {
+        return _object;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** Convenience accessors with defaults. */
+    double numberOr(const std::string &name, double fallback) const;
+    std::string stringOr(const std::string &name,
+                         const std::string &fallback) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> a);
+    static JsonValue makeObject(std::map<std::string, JsonValue> o);
+
+  private:
+    Type _type = Type::kNull;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _array;
+    std::map<std::string, JsonValue> _object;
+};
+
+/**
+ * Parse a complete JSON document.
+ * @param error receives a message with offset on failure (optional)
+ * @return the value, or nullopt-equivalent: null value + error set
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** Read and parse a whole file; false + error on I/O or syntax. */
+bool parseJsonFile(const std::string &path, JsonValue &out,
+                   std::string *error = nullptr);
+
+} // namespace dol::runner
+
+#endif // DOL_RUNNER_JSON_READER_HPP

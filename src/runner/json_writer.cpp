@@ -1,0 +1,186 @@
+#include "runner/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dol::runner
+{
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!_indent)
+        return;
+    _out.push_back('\n');
+    _out.append((_hasElement.size() - 1) * _indent, ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_pendingKey) {
+        _pendingKey = false;
+        return;
+    }
+    if (_hasElement.back())
+        _out.push_back(',');
+    if (_hasElement.size() > 1)
+        newlineIndent();
+    _hasElement.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    _out.push_back('{');
+    _hasElement.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    const bool had = _hasElement.back();
+    _hasElement.pop_back();
+    if (had)
+        newlineIndent();
+    _out.push_back('}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    _out.push_back('[');
+    _hasElement.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    const bool had = _hasElement.back();
+    _hasElement.pop_back();
+    if (had)
+        newlineIndent();
+    _out.push_back(']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (_hasElement.back())
+        _out.push_back(',');
+    newlineIndent();
+    _hasElement.back() = true;
+    _out.push_back('"');
+    _out += escape(name);
+    _out += _indent ? "\": " : "\":";
+    _pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    _out.push_back('"');
+    _out += escape(text);
+    _out.push_back('"');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        // JSON has no Inf/NaN; encode as null like most tools do.
+        _out += "null";
+        return *this;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.10g", number);
+    _out += buffer;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(number));
+    _out += buffer;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(number));
+    _out += buffer;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    _out += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    _out += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    beforeValue();
+    _out += json;
+    return *this;
+}
+
+} // namespace dol::runner

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the runner's structured results.
+ *
+ * Emits deterministic output: keys appear in the order the caller
+ * writes them, doubles always format with "%.10g" (so identical
+ * metric values serialize to identical bytes regardless of how many
+ * worker threads produced them), and strings are escaped per RFC
+ * 8259. No external dependency — the container bakes in nothing
+ * beyond the standard library.
+ */
+
+#ifndef DOL_RUNNER_JSON_WRITER_HPP
+#define DOL_RUNNER_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dol::runner
+{
+
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact. */
+    explicit JsonWriter(unsigned indent = 2) : _indent(indent) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a "key": inside an object; follow with a value call. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string_view(text));
+    }
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number)
+    {
+        return value(static_cast<std::int64_t>(number));
+    }
+    JsonWriter &value(unsigned number)
+    {
+        return value(static_cast<std::uint64_t>(number));
+    }
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, const T &val)
+    {
+        key(name);
+        return value(val);
+    }
+
+    /** Insert pre-serialized JSON verbatim as one value. */
+    JsonWriter &raw(std::string_view json);
+
+    const std::string &str() const { return _out; }
+    std::string take() { return std::move(_out); }
+
+    static std::string escape(std::string_view text);
+
+  private:
+    void beforeValue();
+    void newlineIndent();
+
+    std::string _out;
+    unsigned _indent;
+    /** Per-depth flag: has this container emitted an element yet? */
+    std::vector<bool> _hasElement{false};
+    bool _pendingKey = false;
+};
+
+} // namespace dol::runner
+
+#endif // DOL_RUNNER_JSON_WRITER_HPP

@@ -1,0 +1,66 @@
+#include "runner/progress.hpp"
+
+#include <unistd.h>
+
+namespace dol::runner
+{
+
+ProgressMeter::ProgressMeter(std::size_t total, bool enabled,
+                             std::FILE *out)
+    : _out(out), _enabled(enabled && total > 0),
+      _tty(isatty(fileno(out)) != 0), _total(total),
+      _start(std::chrono::steady_clock::now())
+{}
+
+double
+ProgressMeter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - _start)
+        .count();
+}
+
+void
+ProgressMeter::onJobDone(const std::string &label, double wall_ms)
+{
+    std::lock_guard lock(_mutex);
+    ++_done;
+    _wallMsSum += wall_ms;
+    if (!_enabled)
+        return;
+
+    // ETA from real elapsed time scaled by the remaining fraction:
+    // robust to any worker count without modeling the pool.
+    const double elapsed = elapsedSeconds();
+    const double eta =
+        _done ? elapsed * static_cast<double>(_total - _done) /
+                    static_cast<double>(_done)
+              : 0.0;
+
+    if (_tty) {
+        std::fprintf(_out,
+                     "\r[%zu/%zu] %-32.32s %7.1f ms  eta %5.0fs",
+                     _done, _total, label.c_str(), wall_ms, eta);
+    } else {
+        std::fprintf(_out, "[%zu/%zu] %s (%.1f ms, eta %.0fs)\n",
+                     _done, _total, label.c_str(), wall_ms, eta);
+    }
+    std::fflush(_out);
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard lock(_mutex);
+    if (!_enabled)
+        return;
+    if (_tty)
+        std::fputc('\n', _out);
+    std::fprintf(_out,
+                 "sweep: %zu jobs in %.1fs (%.1f ms avg per job)\n",
+                 _done, elapsedSeconds(),
+                 _done ? _wallMsSum / static_cast<double>(_done) : 0.0);
+    std::fflush(_out);
+}
+
+} // namespace dol::runner

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Live progress line for parallel sweeps: completed/total, the label
+ * that just finished, per-job wall time and an ETA extrapolated from
+ * the mean job time. On a TTY it rewrites one stderr line; piped into
+ * a log it prints one line per completed job so CI output stays
+ * greppable. This is the runner's first observability hook — later
+ * PRs can swap in richer sinks behind the same onJobDone() call.
+ */
+
+#ifndef DOL_RUNNER_PROGRESS_HPP
+#define DOL_RUNNER_PROGRESS_HPP
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dol::runner
+{
+
+class ProgressMeter
+{
+  public:
+    /**
+     * @param total   number of jobs the sweep will run
+     * @param enabled false silences all output (e.g. --csv to stdout
+     *                with stderr redirected into the same file)
+     * @param out     stream to write to (stderr by default)
+     */
+    explicit ProgressMeter(std::size_t total, bool enabled = true,
+                           std::FILE *out = stderr);
+
+    /** Record one finished job; prints the progress line. */
+    void onJobDone(const std::string &label, double wall_ms);
+
+    /** Finish the line (TTY mode) and print the sweep total. */
+    void finish();
+
+    double elapsedSeconds() const;
+
+  private:
+    std::FILE *_out;
+    bool _enabled;
+    bool _tty;
+    std::size_t _total;
+    std::size_t _done = 0;
+    double _wallMsSum = 0.0;
+    std::chrono::steady_clock::time_point _start;
+    std::mutex _mutex;
+};
+
+} // namespace dol::runner
+
+#endif // DOL_RUNNER_PROGRESS_HPP

@@ -1,0 +1,153 @@
+#include "runner/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "runner/progress.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace dol::runner
+{
+
+std::uint64_t
+cellSeed(std::string_view workload, std::string_view prefetcher,
+         std::string_view variant)
+{
+    // FNV-1a 64-bit, with '\x1f' separators so ("ab","c") and
+    // ("a","bc") hash differently.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mix = [&hash](std::string_view text) {
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 0x100000001b3ull;
+        }
+        hash ^= 0x1f;
+        hash *= 0x100000001b3ull;
+    };
+    mix(workload);
+    mix(prefetcher);
+    mix(variant);
+    return hash;
+}
+
+SweepRunner::SweepRunner(const SimConfig &base, SweepOptions options)
+    : _base(base), _options(options)
+{}
+
+unsigned
+SweepRunner::workerCount() const
+{
+    return _options.jobs ? _options.jobs : hardwareJobs();
+}
+
+void
+SweepRunner::addCell(const WorkloadSpec &spec,
+                     const std::string &prefetcher,
+                     RunOptions run_options, const std::string &variant)
+{
+    PendingJob job;
+    job.label = prefetcher + "/" + spec.name + variant;
+    job.variant = variant;
+    job.seed = cellSeed(spec.name, prefetcher, variant);
+    job.body = [spec, prefetcher, run_options = std::move(run_options)](
+                   ExperimentRunner &runner) {
+        std::vector<RunOutput> out;
+        out.push_back(runner.run(spec, prefetcher, run_options));
+        return out;
+    };
+    _pending.push_back(std::move(job));
+}
+
+void
+SweepRunner::addGrid(const std::vector<WorkloadSpec> &specs,
+                     const std::vector<std::string> &prefetchers,
+                     const RunOptions &run_options,
+                     const std::string &variant)
+{
+    for (const WorkloadSpec &spec : specs) {
+        for (const std::string &prefetcher : prefetchers)
+            addCell(spec, prefetcher, run_options, variant);
+    }
+}
+
+void
+SweepRunner::addJob(const std::string &label, JobBody body,
+                    const std::string &variant)
+{
+    PendingJob job;
+    job.label = label;
+    job.variant = variant;
+    job.seed = cellSeed(label, "", variant);
+    job.body = std::move(body);
+    _pending.push_back(std::move(job));
+}
+
+SweepRunner::Report
+SweepRunner::run()
+{
+    std::vector<PendingJob> jobs;
+    jobs.swap(_pending);
+
+    const auto cache = std::make_shared<BaselineCache>();
+    ProgressMeter meter(jobs.size(), _options.progress);
+
+    std::vector<std::vector<RunOutput>> per_job(jobs.size());
+    std::vector<double> per_job_ms(jobs.size(), 0.0);
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    {
+        ThreadPool pool(workerCount());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            futures.push_back(pool.submit([&, i] {
+                const PendingJob &job = jobs[i];
+                // Job-private config: only the seed differs between
+                // cells, so shared baselines stay valid.
+                SimConfig config = _base;
+                config.mem.dram.rngSeed = job.seed;
+                ExperimentRunner runner(config, cache);
+                const auto start = std::chrono::steady_clock::now();
+                per_job[i] = job.body(runner);
+                per_job_ms[i] =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                meter.onJobDone(job.label, per_job_ms[i]);
+            }));
+        }
+        pool.wait();
+    }
+    meter.finish();
+
+    // Rethrow the first job failure (after every job drained, so the
+    // worker threads are quiesced and partial results are complete).
+    std::exception_ptr first_error;
+    for (std::future<void> &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    // Aggregate in submission order: deterministic regardless of the
+    // completion schedule above.
+    Report report;
+    report.meta.maxInstrs = _base.maxInstrs;
+    report.meta.jobs = workerCount();
+    report.meta.elapsedSeconds = meter.elapsedSeconds();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        for (RunOutput &out : per_job[i]) {
+            report.store.append(
+                makeMetricsRow(out, jobs[i].variant, jobs[i].seed));
+            report.meta.wallMs.push_back(per_job_ms[i]);
+            report.outputs.push_back(std::move(out));
+        }
+    }
+    return report;
+}
+
+} // namespace dol::runner

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SweepRunner: expands a declarative (workload × prefetcher ×
+ * config) grid into jobs, shards them across a fixed thread pool,
+ * and aggregates results in grid order.
+ *
+ * Determinism contract: each job's seed derives from its cell key
+ * (workload, prefetcher, variant) — never from the thread schedule —
+ * and per-job simulator state (kernel, memory hierarchy, DRAM drop
+ * RNG) is private to the job, so `--jobs 1` and `--jobs 16` produce
+ * bit-identical metric rows. Baseline runs are shared through a
+ * thread-safe per-sweep cache: the first job needing a workload's
+ * baseline computes it once, everyone else blocks on the same future.
+ */
+
+#ifndef DOL_RUNNER_SWEEP_HPP
+#define DOL_RUNNER_SWEEP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/result_store.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace dol::runner
+{
+
+/**
+ * Deterministic per-cell seed: FNV-1a over the cell key. Identical
+ * on every platform and independent of scheduling.
+ */
+std::uint64_t cellSeed(std::string_view workload,
+                       std::string_view prefetcher,
+                       std::string_view variant = "");
+
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Print the live progress line to stderr. */
+    bool progress = true;
+};
+
+/**
+ * A job body runs on a worker with a job-private ExperimentRunner
+ * (seeded per the cell key, sharing the sweep's baseline cache) and
+ * returns the outputs to record, in order. Simple grid cells return
+ * exactly one output; composite jobs (e.g. a dependent
+ * baseline→measure chain) may return several or none.
+ */
+using JobBody =
+    std::function<std::vector<RunOutput>(ExperimentRunner &)>;
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const SimConfig &base,
+                         SweepOptions options = {});
+
+    /** Replace the execution options (worker count, progress). */
+    void setOptions(SweepOptions options) { _options = options; }
+
+    /** One (workload, prefetcher) cell with optional run options. */
+    void addCell(const WorkloadSpec &spec,
+                 const std::string &prefetcher,
+                 RunOptions run_options = {},
+                 const std::string &variant = "");
+
+    /** Full cross product: every workload × every prefetcher. */
+    void addGrid(const std::vector<WorkloadSpec> &specs,
+                 const std::vector<std::string> &prefetchers,
+                 const RunOptions &run_options = {},
+                 const std::string &variant = "");
+
+    /**
+     * Custom job for flows that don't fit a plain cell (multicore
+     * mixes, dependent run chains). Outputs land in submission order
+     * like any other job's.
+     */
+    void addJob(const std::string &label, JobBody body,
+                const std::string &variant = "");
+
+    struct Report
+    {
+        /** Every job's outputs, flattened in submission order. */
+        std::vector<RunOutput> outputs;
+        /** Flattened metric rows, same order. */
+        ResultStore store;
+        /** Header/timing info for ResultStore::toJson(). */
+        SweepMeta meta;
+    };
+
+    /**
+     * Execute all queued jobs. Blocks until the sweep completes; an
+     * exception thrown by any job body is rethrown here (remaining
+     * jobs still drain first). The queue is consumed: a second run()
+     * starts empty.
+     */
+    Report run();
+
+    std::size_t pendingJobs() const { return _pending.size(); }
+
+    /** Resolved worker count (options.jobs or hw concurrency). */
+    unsigned workerCount() const;
+
+  private:
+    struct PendingJob
+    {
+        std::string label;
+        std::string variant;
+        std::uint64_t seed;
+        JobBody body;
+    };
+
+    SimConfig _base;
+    SweepOptions _options;
+    std::vector<PendingJob> _pending;
+};
+
+} // namespace dol::runner
+
+#endif // DOL_RUNNER_SWEEP_HPP

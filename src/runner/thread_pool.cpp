@@ -1,0 +1,81 @@
+#include "runner/thread_pool.hpp"
+
+namespace dol::runner
+{
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    _workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        std::unique_lock lock(_mutex);
+        _queue.push_back(std::move(packaged));
+    }
+    _wake.notify_one();
+    return future;
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(_mutex);
+    _idle.wait(lock, [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock lock(_mutex);
+            _wake.wait(lock, [this] {
+                return _stopping || !_queue.empty();
+            });
+            // Drain the queue even when stopping: destruction means
+            // "finish everything", not "abandon queued work".
+            if (_queue.empty())
+                return;
+            task = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        task(); // packaged_task captures any exception in the future
+        {
+            std::unique_lock lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+} // namespace dol::runner

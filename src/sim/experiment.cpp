@@ -10,10 +10,20 @@ namespace dol
 const ExperimentRunner::Baseline &
 ExperimentRunner::baseline(const WorkloadSpec &spec)
 {
+    if (_shared) {
+        return _shared->get(spec.name,
+                            [&] { return computeBaseline(spec); });
+    }
     auto it = _baselines.find(spec.name);
     if (it != _baselines.end())
         return it->second;
+    return _baselines.emplace(spec.name, computeBaseline(spec))
+        .first->second;
+}
 
+ExperimentRunner::Baseline
+ExperimentRunner::computeBaseline(const WorkloadSpec &spec)
+{
     Baseline base;
     base.stratifier = std::make_shared<OfflineStratifier>();
 
@@ -48,7 +58,43 @@ ExperimentRunner::baseline(const WorkloadSpec &spec)
         ++seen;
     }
 
-    return _baselines.emplace(spec.name, std::move(base)).first->second;
+    return base;
+}
+
+const ExperimentRunner::Baseline &
+BaselineCache::get(
+    const std::string &key,
+    const std::function<ExperimentRunner::Baseline()> &compute)
+{
+    std::promise<ExperimentRunner::Baseline> promise;
+    std::shared_future<ExperimentRunner::Baseline> future;
+    bool owner = false;
+    {
+        std::lock_guard lock(_mutex);
+        auto it = _futures.find(key);
+        if (it == _futures.end()) {
+            future = promise.get_future().share();
+            _futures.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(compute());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::size_t
+BaselineCache::size() const
+{
+    std::lock_guard lock(_mutex);
+    return _futures.size();
 }
 
 RunOutput

@@ -12,7 +12,9 @@
 #define DOL_SIM_EXPERIMENT_HPP
 
 #include <array>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -100,11 +102,24 @@ struct RunOptions
     std::shared_ptr<const std::unordered_set<Addr>> exclude;
 };
 
+class BaselineCache;
+
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(const SimConfig &config = {})
-        : _config(config)
+    /**
+     * @param shared optional cross-runner baseline cache; parallel
+     *               sweeps hand every job the same cache so each
+     *               workload's baseline is simulated exactly once.
+     *               All runners sharing a cache must use the same
+     *               demand-path configuration (budget, cache/DRAM
+     *               geometry) — only prefetch-side knobs like the
+     *               drop-RNG seed may differ.
+     */
+    explicit ExperimentRunner(const SimConfig &config = {},
+                              std::shared_ptr<BaselineCache> shared =
+                                  nullptr)
+        : _config(config), _shared(std::move(shared))
     {}
 
     struct Baseline
@@ -126,8 +141,35 @@ class ExperimentRunner
     const SimConfig &config() const { return _config; }
 
   private:
+    Baseline computeBaseline(const WorkloadSpec &spec);
+
     SimConfig _config;
+    std::shared_ptr<BaselineCache> _shared;
     std::unordered_map<std::string, Baseline> _baselines;
+};
+
+/**
+ * Thread-safe baseline cache shared between the per-job
+ * ExperimentRunners of a parallel sweep. The first requester of a
+ * workload computes its baseline; concurrent requesters block on the
+ * same shared future, so the result (and any exception) is computed
+ * once and observed by all.
+ */
+class BaselineCache
+{
+  public:
+    /** Look up @p key, running @p compute on a miss. */
+    const ExperimentRunner::Baseline &
+    get(const std::string &key,
+        const std::function<ExperimentRunner::Baseline()> &compute);
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string,
+                       std::shared_future<ExperimentRunner::Baseline>>
+        _futures;
 };
 
 /** Honour DOL_QUICK=1 by shrinking the instruction budget. */

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Runner subsystem tests: thread-pool semantics (drain-on-shutdown,
+ * exception propagation), sweep determinism (`--jobs 1` vs `--jobs 8`
+ * produce byte-identical metric rows), the shared baseline cache, and
+ * the JSON writer/reader round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/json_reader.hpp"
+#include "runner/json_writer.hpp"
+#include "runner/result_store.hpp"
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
+#include "workloads/suite.hpp"
+
+namespace
+{
+
+using namespace dol;
+using namespace dol::runner;
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&] {
+            counter.fetch_add(1);
+            std::lock_guard lock(mutex);
+            threads.insert(std::this_thread::get_id());
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 64);
+    EXPECT_GE(threads.size(), 1u);
+    EXPECT_LE(threads.size(), 4u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&] { counter.fetch_add(1); });
+        // No wait(): destruction must finish the queue, not drop it.
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit(
+        [] { throw std::runtime_error("job exploded"); });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The pool survives a throwing task and keeps executing.
+    std::atomic<bool> ran{false};
+    pool.submit([&] { ran = true; }).get();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitBlocksUntilIdle)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 24; ++i)
+        pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 24);
+}
+
+// --------------------------------------------------------------- sweep
+
+SweepRunner
+makeSmallSweep(unsigned jobs)
+{
+    SimConfig config;
+    config.maxInstrs = 20000;
+    SweepOptions options;
+    options.jobs = jobs;
+    options.progress = false;
+    SweepRunner sweep(config, options);
+
+    std::vector<WorkloadSpec> specs{findWorkload("libquantum.syn"),
+                                    findWorkload("mcf.syn")};
+    sweep.addGrid(specs, {"NextLine", "StridePC"});
+    return sweep;
+}
+
+TEST(SweepRunner, SerialAndParallelRowsAreByteIdentical)
+{
+    SweepRunner serial = makeSmallSweep(1);
+    SweepRunner parallel = makeSmallSweep(8);
+
+    const auto serial_report = serial.run();
+    const auto parallel_report = parallel.run();
+
+    // Metric rows: identical bytes in CSV and in the JSON results
+    // array, independent of worker count.
+    EXPECT_EQ(serial_report.store.toCsv(),
+              parallel_report.store.toCsv());
+    EXPECT_EQ(serial_report.store.resultsJson(),
+              parallel_report.store.resultsJson());
+
+    const auto rows = serial_report.store.rows();
+    ASSERT_EQ(rows.size(), 4u);
+    // Grid order: workload-major, prefetcher-minor.
+    EXPECT_EQ(rows[0].workload, "libquantum.syn");
+    EXPECT_EQ(rows[0].prefetcher, "NextLine");
+    EXPECT_EQ(rows[1].prefetcher, "StridePC");
+    EXPECT_EQ(rows[2].workload, "mcf.syn");
+    // Simulations really happened.
+    for (const MetricsRow &row : rows) {
+        EXPECT_GT(row.instructions, 0u);
+        EXPECT_GT(row.baselineIpc, 0.0);
+    }
+}
+
+TEST(SweepRunner, SeedsDeriveFromCellKeyNotSchedule)
+{
+    const std::uint64_t seed =
+        cellSeed("libquantum.syn", "NextLine");
+    EXPECT_EQ(seed, cellSeed("libquantum.syn", "NextLine"));
+    EXPECT_NE(seed, cellSeed("libquantum.syn", "StridePC"));
+    EXPECT_NE(seed, cellSeed("mcf.syn", "NextLine"));
+    EXPECT_NE(cellSeed("ab", "c"), cellSeed("a", "bc"));
+
+    const auto report = makeSmallSweep(4).run();
+    for (const MetricsRow &row : report.store.rows())
+        EXPECT_EQ(row.seed, cellSeed(row.workload, row.prefetcher));
+}
+
+TEST(SweepRunner, JobExceptionPropagatesAfterDraining)
+{
+    SimConfig config;
+    config.maxInstrs = 5000;
+    SweepOptions options;
+    options.jobs = 2;
+    options.progress = false;
+    SweepRunner sweep(config, options);
+
+    std::atomic<int> completed{0};
+    sweep.addJob("ok-1", [&](ExperimentRunner &) {
+        completed.fetch_add(1);
+        return std::vector<RunOutput>{};
+    });
+    sweep.addJob("boom", [](ExperimentRunner &)
+                     -> std::vector<RunOutput> {
+        throw std::runtime_error("cell failed");
+    });
+    sweep.addJob("ok-2", [&](ExperimentRunner &) {
+        completed.fetch_add(1);
+        return std::vector<RunOutput>{};
+    });
+
+    EXPECT_THROW(sweep.run(), std::runtime_error);
+    // Every non-failing job still ran to completion.
+    EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(BaselineCache, ComputesEachWorkloadOnce)
+{
+    BaselineCache cache;
+    std::atomic<int> computed{0};
+    const auto compute = [&] {
+        computed.fetch_add(1);
+        ExperimentRunner::Baseline base;
+        base.ipc = 1.5;
+        return base;
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&] {
+            const auto &base = cache.get("wl", compute);
+            EXPECT_DOUBLE_EQ(base.ipc, 1.5);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(computed.load(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, WriterEscapesAndStructures)
+{
+    JsonWriter json(0);
+    json.beginObject();
+    json.field("name", "a\"b\\c\n\t\x01");
+    json.field("count", std::uint64_t{42});
+    json.field("ratio", 0.25);
+    json.field("flag", true);
+    json.key("list").beginArray().value(1).value(2).endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"a\\\"b\\\\c\\n\\t\\u0001\",\"count\":42,"
+              "\"ratio\":0.25,\"flag\":true,\"list\":[1,2]}");
+}
+
+TEST(Json, ReaderParsesWriterOutput)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("text", "line1\nline2 \"quoted\" back\\slash");
+    json.field("num", 3.140000001);
+    json.field("neg", std::int64_t{-7});
+    json.key("nested").beginObject().field("deep", "x").endObject();
+    json.key("arr").beginArray().value(false).null().endArray();
+    json.endObject();
+
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(parseJson(json.str(), value, &error)) << error;
+    EXPECT_EQ(value.stringOr("text", ""),
+              "line1\nline2 \"quoted\" back\\slash");
+    EXPECT_DOUBLE_EQ(value.numberOr("num", 0.0), 3.140000001);
+    EXPECT_DOUBLE_EQ(value.numberOr("neg", 0.0), -7.0);
+    ASSERT_NE(value.find("nested"), nullptr);
+    EXPECT_EQ(value.find("nested")->stringOr("deep", ""), "x");
+    ASSERT_NE(value.find("arr"), nullptr);
+    ASSERT_EQ(value.find("arr")->array().size(), 2u);
+    EXPECT_FALSE(value.find("arr")->array()[0].boolean());
+    EXPECT_TRUE(value.find("arr")->array()[1].isNull());
+}
+
+TEST(Json, ReaderRejectsGarbage)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": }", value, &error));
+    EXPECT_FALSE(parseJson("[1, 2", value, &error));
+    EXPECT_FALSE(parseJson("{} trailing", value, &error));
+    EXPECT_FALSE(parseJson("\"unterminated", value, &error));
+}
+
+TEST(ResultStore, JsonRoundTripPreservesRows)
+{
+    ResultStore store;
+    MetricsRow row;
+    row.workload = "weird \"name\"\n";
+    row.prefetcher = "TPC+SMS";
+    row.variant = ":L1";
+    row.seed = 0xdeadbeefcafeull;
+    row.baselineIpc = 1.2345;
+    row.ipc = 1.5;
+    row.speedup = 1.5 / 1.2345;
+    row.baselineMpkiL1 = 12.75;
+    row.prefetchesIssued = 123456789ull;
+    row.scope = 0.625;
+    row.effAccuracyL1 = 0.875;
+    row.effCoverageL1 = 0.5;
+    row.effAccuracyL2 = -0.125; // induced misses can go negative
+    row.effCoverageL2 = 0.25;
+    row.trafficNormalized = 1.0625;
+    row.instructions = 200000;
+    store.append(row);
+
+    SweepMeta meta;
+    meta.generator = "test";
+    meta.maxInstrs = 200000;
+    meta.jobs = 8;
+    meta.elapsedSeconds = 1.5;
+    meta.wallMs = {42.0};
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(store.toJson(meta), doc, &error)) << error;
+
+    EXPECT_EQ(doc.stringOr("schema", ""), "dol-sweep-v1");
+    EXPECT_EQ(doc.stringOr("generator", ""), "test");
+    const JsonValue *results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->array().size(), 1u);
+
+    const JsonValue &parsed = results->array()[0];
+    EXPECT_EQ(parsed.stringOr("workload", ""), row.workload);
+    EXPECT_EQ(parsed.stringOr("prefetcher", ""), row.prefetcher);
+    EXPECT_EQ(parsed.stringOr("variant", ""), row.variant);
+    EXPECT_DOUBLE_EQ(parsed.numberOr("seed", 0),
+                     static_cast<double>(row.seed));
+    const JsonValue *metrics = parsed.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("baseline_ipc", 0),
+                     row.baselineIpc);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("ipc", 0), row.ipc);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("baseline_mpki_l1", 0),
+                     row.baselineMpkiL1);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("prefetches_issued", 0),
+                     static_cast<double>(row.prefetchesIssued));
+    EXPECT_DOUBLE_EQ(metrics->numberOr("scope", 0), row.scope);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("eff_accuracy_l1", 0),
+                     row.effAccuracyL1);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("eff_accuracy_l2", 0),
+                     row.effAccuracyL2);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("traffic_normalized", 0),
+                     row.trafficNormalized);
+    EXPECT_DOUBLE_EQ(metrics->numberOr("instructions", 0),
+                     static_cast<double>(row.instructions));
+
+    const JsonValue *timing = doc.find("timing");
+    ASSERT_NE(timing, nullptr);
+    EXPECT_DOUBLE_EQ(timing->numberOr("jobs", 0), 8.0);
+    ASSERT_NE(timing->find("wall_ms"), nullptr);
+    EXPECT_EQ(timing->find("wall_ms")->array().size(), 1u);
+}
+
+TEST(ResultStore, GridSlotsSerializeInOrder)
+{
+    ResultStore store(3);
+    MetricsRow row;
+    row.prefetcher = "X";
+    row.workload = "c";
+    store.set(2, row);
+    row.workload = "a";
+    store.set(0, row);
+    row.workload = "b";
+    store.set(1, row);
+
+    const auto rows = store.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].workload, "a");
+    EXPECT_EQ(rows[1].workload, "b");
+    EXPECT_EQ(rows[2].workload, "c");
+}
+
+} // namespace

@@ -3,12 +3,14 @@
  * dolsim — command-line experiment driver.
  *
  * Runs any (workload, prefetcher) combination and reports the paper's
- * metrics; supports sweeps over whole suites and CSV output for
- * plotting.
+ * metrics; sweeps over whole suites run in parallel on the runner
+ * subsystem (deterministic: `--jobs 1` and `--jobs N` emit identical
+ * metric rows) with CSV and structured JSON output for plotting.
  *
  *   dolsim --list
  *   dolsim --workload libquantum.syn --prefetcher TPC
- *   dolsim --suite spec --prefetcher TPC,SPP,BOP --instrs 300000 --csv
+ *   dolsim --suite spec --prefetcher TPC,SPP,BOP --jobs 8 --csv
+ *   dolsim --suite all --prefetcher TPC --json results.json
  *   dolsim --workload mcf.syn --prefetcher TPC --dest l2
  */
 
@@ -19,6 +21,8 @@
 
 #include "common/log.hpp"
 #include "metrics/table.hpp"
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/trace_file.hpp"
@@ -31,25 +35,28 @@ struct Options
     std::vector<std::string> workloads;
     std::vector<std::string> prefetchers{"TPC"};
     std::uint64_t instrs = 200000;
+    unsigned jobs = 0; ///< 0 = hardware concurrency
     bool csv = false;
     bool list = false;
+    bool quiet = false; ///< suppress the progress line
+    std::string json; ///< write dol-sweep-v1 JSON to this file
     std::string record; ///< record first workload's trace to a file
     std::string replay; ///< replay a trace file as the workload
     std::string dest; ///< "", "l1", "l2", "stratified"
 };
 
+/** Split on commas, skipping empty tokens ("TPC,,SPP" -> 2 names). */
 std::vector<std::string>
 splitCommas(const std::string &value)
 {
     std::vector<std::string> out;
     std::size_t start = 0;
     while (start <= value.size()) {
-        const std::size_t comma = value.find(',', start);
-        if (comma == std::string::npos) {
-            out.push_back(value.substr(start));
-            break;
-        }
-        out.push_back(value.substr(start, comma - start));
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > start)
+            out.push_back(value.substr(start, comma - start));
         start = comma + 1;
     }
     return out;
@@ -66,11 +73,16 @@ usage()
         "  --prefetcher NAME[,...]    registry names (default TPC)\n"
         "  --instrs N                 instruction budget (default "
         "200000)\n"
+        "  --jobs N                   parallel sweep workers "
+        "(default: hardware threads)\n"
+        "  --json FILE                write structured results "
+        "(dol-sweep-v1)\n"
         "  --dest l1|l2|stratified    force/oracle prefetch "
         "destination\n"
         "  --record FILE              record the workload's trace\n"
         "  --replay FILE              replay a recorded trace\n"
-        "  --csv                      machine-readable output\n");
+        "  --csv                      machine-readable output\n"
+        "  --quiet                    no progress line on stderr\n");
 }
 
 Options
@@ -99,8 +111,15 @@ parse(int argc, char **argv)
                 dol::fatal("unknown suite: " + suite);
         } else if (arg == "--prefetcher") {
             options.prefetchers = splitCommas(next());
+            if (options.prefetchers.empty())
+                dol::fatal("empty --prefetcher list");
         } else if (arg == "--instrs") {
             options.instrs = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--json") {
+            options.json = next();
         } else if (arg == "--dest") {
             options.dest = next();
         } else if (arg == "--record") {
@@ -109,6 +128,8 @@ parse(int argc, char **argv)
             options.replay = next();
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -140,7 +161,6 @@ main(int argc, char **argv)
 
     SimConfig config;
     config.maxInstrs = options.instrs;
-    ExperimentRunner runner(config);
 
     if (!options.record.empty()) {
         const WorkloadSpec &spec = findWorkload(options.workloads[0]);
@@ -164,11 +184,6 @@ main(int argc, char **argv)
     else if (!options.dest.empty())
         fatal("bad --dest value: " + options.dest);
 
-    if (options.csv) {
-        std::printf("workload,prefetcher,baseline_ipc,ipc,speedup,"
-                    "mpki,issued,scope,acc_l1,cov_l1,traffic\n");
-    }
-
     std::vector<WorkloadSpec> specs;
     if (!options.replay.empty()) {
         const std::string path = options.replay;
@@ -181,32 +196,41 @@ main(int argc, char **argv)
             specs.push_back(findWorkload(workload));
     }
 
-    TextTable table({"workload", "prefetcher", "speedup", "scope",
-                     "accL1", "covL1", "traffic"});
-    for (const WorkloadSpec &spec : specs) {
-        const std::string &workload = spec.name;
-        for (const std::string &pf : options.prefetchers) {
-            const RunOutput out = runner.run(spec, pf, run_options);
-            if (options.csv) {
-                std::printf(
-                    "%s,%s,%.4f,%.4f,%.4f,%.2f,%llu,%.4f,%.4f,%.4f,"
-                    "%.4f\n",
-                    workload.c_str(), pf.c_str(), out.baselineIpc,
-                    out.ipc, out.speedup(), out.baselineMpkiL1,
-                    static_cast<unsigned long long>(
-                        out.prefetchesIssued),
-                    out.scope, out.effAccuracyL1, out.effCoverageL1,
-                    out.trafficNormalized);
-            } else {
-                table.addRow({workload, pf, fmt("%.3f", out.speedup()),
-                              fmt("%.2f", out.scope),
-                              fmt("%.2f", out.effAccuracyL1),
-                              fmt("%.2f", out.effCoverageL1),
-                              fmt("%.3f", out.trafficNormalized)});
-            }
+    runner::SweepOptions sweep_options;
+    sweep_options.jobs = options.jobs;
+    sweep_options.progress = !options.quiet;
+    runner::SweepRunner sweep(config, sweep_options);
+    sweep.addGrid(specs, options.prefetchers, run_options,
+                  options.dest.empty() ? "" : ":" + options.dest);
+
+    const runner::SweepRunner::Report report = sweep.run();
+
+    if (options.csv) {
+        std::fputs(report.store.toCsv().c_str(), stdout);
+    } else {
+        TextTable table({"workload", "prefetcher", "speedup", "scope",
+                         "accL1", "covL1", "traffic"});
+        for (const runner::MetricsRow &row : report.store.rows()) {
+            table.addRow({row.workload, row.prefetcher,
+                          fmt("%.3f", row.speedup),
+                          fmt("%.2f", row.scope),
+                          fmt("%.2f", row.effAccuracyL1),
+                          fmt("%.2f", row.effCoverageL1),
+                          fmt("%.3f", row.trafficNormalized)});
+        }
+        table.print();
+    }
+
+    if (!options.json.empty()) {
+        runner::SweepMeta meta = report.meta;
+        meta.generator = "dolsim";
+        if (!report.store.writeJsonFile(options.json, meta))
+            fatal("cannot write " + options.json);
+        if (!options.quiet) {
+            std::fprintf(stderr, "wrote %s (%zu rows)\n",
+                         options.json.c_str(),
+                         report.store.rows().size());
         }
     }
-    if (!options.csv)
-        table.print();
     return 0;
 }
