@@ -2,6 +2,9 @@
 
 #include <bit>
 
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
+
 namespace dol
 {
 
@@ -45,16 +48,22 @@ void
 C1Prefetcher::decide(InstrEntry &entry)
 {
     // Dense with probability > 3/4 across the observed regions?
-    if (entry.denseRegions * _params.denseDen >
-        entry.totalRegions * _params.denseNum) {
+    const bool marked = entry.denseRegions * _params.denseDen >
+                        entry.totalRegions * _params.denseNum;
+    if (marked) {
         if (_marked.size() >= _params.maxMarked)
             _marked.clear(); // state bits are finite
         _marked.insert(entry.mPc);
+        ++_verdictsMarked;
     } else {
         if (_rejected.size() >= _params.maxMarked)
             _rejected.clear();
         _rejected.insert(entry.mPc);
+        ++_verdictsRejected;
     }
+    DOL_TRACE_EVENT(_trace, TraceEventType::kC1Verdict, _now, 0,
+                    entry.mPc, id(), entry.denseRegions,
+                    marked ? 1 : 0);
     entry.valid = false; // vacate for the next candidate
 }
 
@@ -66,6 +75,15 @@ C1Prefetcher::evictRegion(RegionEntry &entry)
     const bool dense =
         std::popcount(entry.lineVector) >
         static_cast<int>(_params.denseLineThreshold);
+    ++_regionsObserved;
+    if (dense) {
+        ++_denseRegionsObserved;
+        DOL_TRACE_EVENT(_trace, TraceEventType::kC1RegionDense, _now,
+                        entry.region << kRegionBits, entry.lineVector,
+                        id(), 0,
+                        static_cast<std::uint8_t>(
+                            std::popcount(entry.lineVector)));
+    }
     for (unsigned i = 0; i < _instrs.size(); ++i) {
         if (!((entry.pcVector >> i) & 1))
             continue;
@@ -86,6 +104,7 @@ C1Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
 {
     const std::uint64_t region = regionNum(access.addr);
     const unsigned line_bit = lineInRegion(access.addr);
+    _now = access.when;
 
     // Marked instructions trigger the region prefetch.
     if (_marked.contains(access.mPc)) {
@@ -100,6 +119,10 @@ C1Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
                              _params.destLevel, _params.priority);
             }
             ++_regionsPrefetched;
+            DOL_TRACE_EVENT(_trace, TraceEventType::kC1CarpetFire,
+                            access.when, base, access.mPc, id(), 0,
+                            static_cast<std::uint8_t>(
+                                kRegionLineCount));
         }
     }
 
@@ -146,6 +169,17 @@ C1Prefetcher::storageBits() const
     const std::size_t rm_bits =
         _regions.size() * (48 + kRegionLineCount + _instrs.size());
     return im_bits + rm_bits + 1024 * 8;
+}
+
+void
+C1Prefetcher::exportCounters(CounterRegistry &registry) const
+{
+    registry.set(name(), "regions_observed", _regionsObserved);
+    registry.set(name(), "dense_regions", _denseRegionsObserved);
+    registry.set(name(), "verdicts_marked", _verdictsMarked);
+    registry.set(name(), "verdicts_rejected", _verdictsRejected);
+    registry.set(name(), "regions_prefetched", _regionsPrefetched);
+    registry.set(name(), "marked_instrs", _marked.size());
 }
 
 } // namespace dol

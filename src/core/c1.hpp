@@ -51,6 +51,7 @@ class C1Prefetcher : public Prefetcher
     void train(const AccessInfo &access, PrefetchEmitter &emitter) override;
 
     std::size_t storageBits() const override;
+    void exportCounters(CounterRegistry &registry) const override;
 
     /** Does C1 own this instruction? (coordinator query) */
     bool isMarked(Pc m_pc) const { return _marked.contains(m_pc); }
@@ -97,6 +98,16 @@ class C1Prefetcher : public Prefetcher
     std::unordered_map<Pc, std::uint64_t> _lastPrefetchedRegion;
     std::uint64_t _stamp = 0;
     std::uint64_t _regionsPrefetched = 0;
+
+    /** Training cycle, plumbed to the eviction/verdict paths (which
+     *  have no AccessInfo of their own). */
+    Cycle _now = 0;
+
+    // Decision counters (exported into the counter registry).
+    std::uint64_t _regionsObserved = 0;
+    std::uint64_t _denseRegionsObserved = 0;
+    std::uint64_t _verdictsMarked = 0;
+    std::uint64_t _verdictsRejected = 0;
 };
 
 } // namespace dol

@@ -1,5 +1,8 @@
 #include "core/composite.hpp"
 
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
+
 namespace dol
 {
 
@@ -53,6 +56,35 @@ CompositePrefetcher::assignIds(const IdAllocator &alloc)
         setId(_t2->id());
     else if (_c1)
         setId(_c1->id());
+}
+
+void
+CompositePrefetcher::setTraceContext(TraceContext *trace)
+{
+    Prefetcher::setTraceContext(trace);
+    if (_t2)
+        _t2->setTraceContext(trace);
+    if (_p1)
+        _p1->setTraceContext(trace);
+    if (_c1)
+        _c1->setTraceContext(trace);
+    for (auto &extra : _extras)
+        extra->setTraceContext(trace);
+}
+
+void
+CompositePrefetcher::exportCounters(CounterRegistry &registry) const
+{
+    if (_t2)
+        _t2->exportCounters(registry);
+    if (_p1)
+        _p1->exportCounters(registry);
+    if (_c1)
+        _c1->exportCounters(registry);
+    for (const auto &extra : _extras)
+        extra->exportCounters(registry);
+    registry.set(name(), "coord_claims", _coordClaims);
+    registry.set(name(), "coord_unclaims", _coordUnclaims);
 }
 
 CompositePrefetcher::Owner
@@ -173,6 +205,32 @@ CompositePrefetcher::train(const AccessInfo &access,
 
     if (!claimed)
         routeToExtras(access, emitter);
+
+    if (_trace) {
+        // Ownership-transition events. The map is only populated while
+        // tracing, so the untraced path never touches it.
+        const auto owner = static_cast<std::uint8_t>(ownerOf(access.mPc));
+        const auto it = _lastOwner.find(access.mPc);
+        const std::uint8_t previous =
+            it == _lastOwner.end() ? 0 : it->second;
+        if (owner != previous) {
+            if (previous != 0) {
+                ++_coordUnclaims;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kCoordUnclaim,
+                                access.when, access.addr, access.mPc,
+                                id(), 0, previous);
+            }
+            if (owner != 0) {
+                ++_coordClaims;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kCoordClaim,
+                                access.when, access.addr, access.mPc,
+                                id(), 0, owner);
+            }
+            if (_lastOwner.size() > (1u << 16))
+                _lastOwner.clear();
+            _lastOwner[access.mPc] = owner;
+        }
+    }
 }
 
 void
@@ -276,6 +334,21 @@ ShuntPrefetcher::storageBits() const
     for (const auto &component : _components)
         total += component->storageBits();
     return total;
+}
+
+void
+ShuntPrefetcher::setTraceContext(TraceContext *trace)
+{
+    Prefetcher::setTraceContext(trace);
+    for (auto &component : _components)
+        component->setTraceContext(trace);
+}
+
+void
+ShuntPrefetcher::exportCounters(CounterRegistry &registry) const
+{
+    for (const auto &component : _components)
+        component->exportCounters(registry);
 }
 
 } // namespace dol

@@ -73,6 +73,8 @@ class CompositePrefetcher : public Prefetcher
                 PrefetchEmitter &emitter) override;
     void assignIds(const IdAllocator &alloc) override;
     std::size_t storageBits() const override;
+    void setTraceContext(TraceContext *trace) override;
+    void exportCounters(CounterRegistry &registry) const override;
 
     // Introspection -------------------------------------------------
     T2Prefetcher *t2() { return _t2.get(); }
@@ -130,6 +132,13 @@ class CompositePrefetcher : public Prefetcher
     };
     std::vector<ExtraHealth> _health;
     std::uint64_t _accessCount = 0;
+
+    /** Last coordinator owner per instruction — maintained only while
+     *  a trace context is attached (the map stays empty otherwise, so
+     *  the untraced hot path pays nothing). */
+    std::unordered_map<Pc, std::uint8_t> _lastOwner;
+    std::uint64_t _coordClaims = 0;
+    std::uint64_t _coordUnclaims = 0;
 };
 
 /**
@@ -156,6 +165,8 @@ class ShuntPrefetcher : public Prefetcher
                 PrefetchEmitter &emitter) override;
     void assignIds(const IdAllocator &alloc) override;
     std::size_t storageBits() const override;
+    void setTraceContext(TraceContext *trace) override;
+    void exportCounters(CounterRegistry &registry) const override;
 
     const std::vector<std::unique_ptr<Prefetcher>> &
     components() const

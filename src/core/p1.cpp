@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
+
 namespace dol
 {
 
@@ -123,6 +126,10 @@ P1Prefetcher::advanceChase(ChainEntry &entry, Cycle when,
         const Cycle issue_at = std::max(when, entry.nextKnownAt);
         const auto outcome = emitter.emitAt(link_addr, issue_at, kL1,
                                             _params.priority);
+        ++_linksFollowed;
+        DOL_TRACE_EVENT(_trace, TraceEventType::kP1ChainAdvance,
+                        issue_at, link_addr, entry.mPc, id(), 0,
+                        static_cast<std::uint8_t>(outcome));
         ++entry.ahead;
         entry.predicted.push(lineAddr(link_addr));
 
@@ -197,6 +204,9 @@ P1Prefetcher::observeChainCandidate(const Instr &instr, Pc m_pc,
             } else if (++entry->missCount > _params.timeoutIters) {
                 // Off track for too long: reset and re-detect
                 // (the paper's time-out correction).
+                ++_chainResyncs;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kP1ChainResync,
+                                when, instr.addr, m_pc, id(), 0, 0);
                 resetChase(*entry);
                 return;
             }
@@ -228,6 +238,10 @@ P1Prefetcher::observeChainCandidate(const Instr &instr, Pc m_pc,
                     entry->confirmed = true;
                     entry->missCount = 0;
                     entry->predicted.clear();
+                    ++_chainsConfirmed;
+                    DOL_TRACE_EVENT(_trace,
+                                    TraceEventType::kP1ChainStart,
+                                    when, instr.addr, m_pc, id(), 0, 0);
                 }
             } else {
                 entry->delta = delta;
@@ -243,12 +257,16 @@ P1Prefetcher::observeChainCandidate(const Instr &instr, Pc m_pc,
 
 void
 P1Prefetcher::confirmProducer(Pc producer_m_pc, Pc dependent_m_pc,
-                              std::int64_t delta)
+                              std::int64_t delta, Cycle when)
 {
     if (SitEntry *sit = _t2->sitLookup(producer_m_pc)) {
         sit->ptrProducer = true;
         sit->ptrDelta = delta;
     }
+    ++_producersConfirmed;
+    DOL_TRACE_EVENT(_trace, TraceEventType::kP1ProducerConfirm, when,
+                    static_cast<Addr>(dependent_m_pc), producer_m_pc,
+                    id(), 0, 0);
     ProducerRecord record;
     record.producerMPc = producer_m_pc;
     record.dependentMPc = dependent_m_pc;
@@ -258,7 +276,7 @@ P1Prefetcher::confirmProducer(Pc producer_m_pc, Pc dependent_m_pc,
 }
 
 void
-P1Prefetcher::runScout(const Instr &instr, Pc m_pc)
+P1Prefetcher::runScout(const Instr &instr, Pc m_pc, Cycle when)
 {
     if (!_scout.active)
         return;
@@ -287,7 +305,7 @@ P1Prefetcher::runScout(const Instr &instr, Pc m_pc)
     if (_scout.haveCandidate && _scout.candidateMPc == m_pc) {
         if (delta == _scout.candidateDelta) {
             if (++_scout.candidateConf >= _params.confirmThreshold) {
-                confirmProducer(_scout.producerMPc, m_pc, delta);
+                confirmProducer(_scout.producerMPc, m_pc, delta, when);
                 _scouted.insert(_scout.producerMPc);
                 _scout.active = false;
             }
@@ -361,7 +379,7 @@ P1Prefetcher::producerExecuted(const Instr &instr, Pc m_pc, Cycle when,
 }
 
 void
-P1Prefetcher::dependentExecuted(const Instr &instr, Pc m_pc)
+P1Prefetcher::dependentExecuted(const Instr &instr, Pc m_pc, Cycle when)
 {
     const auto dep = _dependents.find(m_pc);
     if (dep == _dependents.end())
@@ -381,6 +399,9 @@ P1Prefetcher::dependentExecuted(const Instr &instr, Pc m_pc)
         record.missCount = 0;
     } else if (++record.missCount > _params.timeoutIters) {
         // The dependent wandered off: unmark and allow re-detection.
+        ++_dependentTimeouts;
+        DOL_TRACE_EVENT(_trace, TraceEventType::kP1ChainResync, when,
+                        instr.addr, m_pc, id(), 0, 1);
         if (SitEntry *sit = _t2->sitLookup(record.producerMPc))
             sit->ptrProducer = false;
         _scouted.erase(record.producerMPc);
@@ -393,7 +414,7 @@ void
 P1Prefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
                       Pc m_pc, PrefetchEmitter &emitter)
 {
-    runScout(instr, m_pc);
+    runScout(instr, m_pc, retire.issue);
 
     if (!instr.isLoad())
         return;
@@ -416,7 +437,7 @@ P1Prefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
         return; // strided loads are never chain candidates
     }
 
-    dependentExecuted(instr, m_pc);
+    dependentExecuted(instr, m_pc, retire.issue);
 
     // Chain candidates are non-strided loads whose own value predicts
     // their next address. The FSM learns the value when the load
@@ -446,6 +467,17 @@ P1Prefetcher::storageBits() const
     // marked-instruction state bits (Table II: "1KB state bits").
     return 32 + TaintTracker::storageBits() +
            _chains.size() * (16 + 48 + 16 + 16 + 8) + 1024 * 8;
+}
+
+void
+P1Prefetcher::exportCounters(CounterRegistry &registry) const
+{
+    registry.set(name(), "chains_confirmed", _chainsConfirmed);
+    registry.set(name(), "chain_resyncs", _chainResyncs);
+    registry.set(name(), "links_followed", _linksFollowed);
+    registry.set(name(), "chain_prefetches", _chainsStarted);
+    registry.set(name(), "producers_confirmed", _producersConfirmed);
+    registry.set(name(), "dependent_timeouts", _dependentTimeouts);
 }
 
 } // namespace dol

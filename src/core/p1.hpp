@@ -71,6 +71,7 @@ class P1Prefetcher : public Prefetcher
                 PrefetchEmitter &emitter) override;
 
     std::size_t storageBits() const override;
+    void exportCounters(CounterRegistry &registry) const override;
 
     /** Does P1 own this instruction? (coordinator query) */
     bool handles(Pc m_pc) const;
@@ -153,12 +154,12 @@ class P1Prefetcher : public Prefetcher
                       PrefetchEmitter &emitter);
     void resetChase(ChainEntry &entry);
 
-    void runScout(const Instr &instr, Pc m_pc);
+    void runScout(const Instr &instr, Pc m_pc, Cycle when);
     void confirmProducer(Pc producer_m_pc, Pc dependent_m_pc,
-                         std::int64_t delta);
+                         std::int64_t delta, Cycle when);
     void producerExecuted(const Instr &instr, Pc m_pc, Cycle when,
                           PrefetchEmitter &emitter);
-    void dependentExecuted(const Instr &instr, Pc m_pc);
+    void dependentExecuted(const Instr &instr, Pc m_pc, Cycle when);
 
     Params _params;
     T2Prefetcher *_t2;
@@ -167,6 +168,13 @@ class P1Prefetcher : public Prefetcher
     std::vector<ChainEntry> _chains;
     std::uint64_t _stamp = 0;
     std::uint64_t _chainsStarted = 0;
+
+    // Decision counters (exported into the counter registry).
+    std::uint64_t _chainsConfirmed = 0;
+    std::uint64_t _chainResyncs = 0;
+    std::uint64_t _linksFollowed = 0;
+    std::uint64_t _producersConfirmed = 0;
+    std::uint64_t _dependentTimeouts = 0;
 
     // One-at-a-time producer scout (the PtrPC register + TPU).
     struct Scout

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/context.hpp"
+
 namespace dol
 {
 
@@ -20,8 +22,20 @@ T2Prefetcher::stateOf(Pc m_pc) const
 }
 
 void
-T2Prefetcher::setState(Pc m_pc, InstrState state)
+T2Prefetcher::setState(Pc m_pc, InstrState state, Cycle when)
 {
+    const InstrState previous = stateOf(m_pc);
+    if (state == InstrState::kStrided)
+        ++_streamsConfirmed;
+    else if (state == InstrState::kNonStrided)
+        ++_instrsWrittenOff;
+    else if (state == InstrState::kObservation &&
+             previous == InstrState::kStrided)
+        ++_streamsBroken;
+    DOL_TRACE_EVENT(_trace, TraceEventType::kT2Transition, when, 0,
+                    m_pc, id(), 0,
+                    static_cast<std::uint8_t>(state));
+
     if (_states.size() >= _params.maxStateEntries &&
         !_states.contains(m_pc)) {
         // The I-cache state bits are a finite resource: modelling a
@@ -120,7 +134,7 @@ T2Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
         // Only instructions that trigger a primary miss are worth
         // tracking (paper: state 0 -> 1 on primary miss).
         if (access.l1PrimaryMiss) {
-            setState(m_pc, InstrState::kObservation);
+            setState(m_pc, InstrState::kObservation, access.when);
             _sit.allocate(m_pc, access.addr);
         }
         break;
@@ -140,14 +154,14 @@ T2Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
                 ++entry->sameDeltaCount;
             entry->diffDeltaCount = 0;
             if (entry->sameDeltaCount >= _params.strideThreshold) {
-                setState(m_pc, InstrState::kStrided);
+                setState(m_pc, InstrState::kStrided, access.when);
                 _lastConfirmed = m_pc;
             }
         } else {
             entry->delta = delta;
             entry->sameDeltaCount = 0;
             if (++entry->diffDeltaCount >= _params.nonStrideThreshold) {
-                setState(m_pc, InstrState::kNonStrided);
+                setState(m_pc, InstrState::kNonStrided, access.when);
                 entry->lastAddr = access.addr;
                 break;
             }
@@ -163,7 +177,7 @@ T2Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
         SitEntry *entry = _sit.find(m_pc);
         if (!entry) {
             entry = &_sit.allocate(m_pc, access.addr);
-            setState(m_pc, InstrState::kObservation);
+            setState(m_pc, InstrState::kObservation, access.when);
             break;
         }
         const std::int64_t delta =
@@ -176,7 +190,7 @@ T2Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
         } else if (++entry->diffDeltaCount >=
                    _params.nonStrideThreshold) {
             // The stream broke down; re-observe from scratch.
-            setState(m_pc, InstrState::kObservation);
+            setState(m_pc, InstrState::kObservation, access.when);
             entry->delta = delta;
             entry->sameDeltaCount = 0;
             entry->diffDeltaCount = 0;
@@ -206,6 +220,16 @@ T2Prefetcher::storageBits() const
 {
     // SIT + loop hardware + 2 KB of 2-bit I-cache state annotations.
     return _sit.storageBits() + _loops.storageBits() + 2048 * 8;
+}
+
+void
+T2Prefetcher::exportCounters(CounterRegistry &registry) const
+{
+    registry.set(name(), "streams_confirmed", _streamsConfirmed);
+    registry.set(name(), "streams_broken", _streamsBroken);
+    registry.set(name(), "instrs_written_off", _instrsWrittenOff);
+    registry.set(name(), "tracked_instrs", _states.size());
+    registry.set(name(), "distance", distance());
 }
 
 } // namespace dol

@@ -1,5 +1,7 @@
 #include "cpu/core.hpp"
 
+#include "trace/context.hpp"
+
 namespace dol
 {
 
@@ -62,6 +64,9 @@ Core::step(const Instr &in, DataPort &port)
         if (in.mispredicted) {
             // Front end restarts after the branch resolves.
             ++_stats.mispredicts;
+            DOL_TRACE_EVENT(_trace, TraceEventType::kCoreMispredict,
+                            finish, in.target, in.pc, 0, 0,
+                            in.taken ? 1 : 0);
             _nextDispatch = std::max(
                 _nextDispatch, finish + _params.branchMissPenalty);
             _laneUsed = 0;

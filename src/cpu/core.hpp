@@ -26,6 +26,8 @@
 namespace dol
 {
 
+class TraceContext;
+
 /** Core parameters (defaults follow Table I). */
 struct CoreParams
 {
@@ -116,6 +118,9 @@ class Core
     /** Final cycle count: the latest finish time observed so far. */
     Cycle finalCycle() const { return _maxFinish; }
 
+    /** Attach the observability event bus (nullptr = tracing off). */
+    void setTraceContext(TraceContext *trace) { _trace = trace; }
+
   private:
     Cycle regReady(RegId reg) const
     {
@@ -139,6 +144,7 @@ class Core
     std::uint64_t _instrIndex = 0;
     std::uint64_t _memIndex = 0;
 
+    TraceContext *_trace = nullptr;
     CoreStats _stats;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
 
 namespace dol
 {
@@ -175,6 +177,19 @@ MemorySystem::handleVictim(unsigned level, const Cache::Victim &victim,
 {
     LevelStats &ls = _stats.level[level];
     ++ls.evictions;
+    if (_trace) {
+        std::uint8_t flags = 0;
+        if (victim.dirty)
+            flags |= kEvictDirty;
+        if (victim.prefetched)
+            flags |= kEvictPrefetched;
+        if (victim.used)
+            flags |= kEvictUsed;
+        _trace->record(TraceEventType::kCacheEvict, now,
+                       victim.lineAddr, 0,
+                       static_cast<std::uint8_t>(victim.comp),
+                       static_cast<std::uint8_t>(level), flags);
+    }
     if (victim.prefetched && !victim.used) {
         ++ls.unusedPrefetchEvictions;
         if (_listener) {
@@ -254,9 +269,21 @@ MemorySystem::demandAccess(Addr addr, Pc pc, Cycle when, bool is_store)
             } else if (in_flight) {
                 ++ls.latePrefetchHits;
                 ++ls.demandHits;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchLate,
+                                now, line, pc,
+                                static_cast<std::uint8_t>(found->comp),
+                                static_cast<std::uint8_t>(lv), 0);
             } else {
                 ++ls.demandHits;
             }
+            DOL_TRACE_EVENT(_trace, TraceEventType::kCacheHit, now,
+                            line, pc,
+                            static_cast<std::uint8_t>(found->comp),
+                            static_cast<std::uint8_t>(lv),
+                            static_cast<std::uint8_t>(
+                                (is_store ? 1u : 0u) |
+                                (found->prefetched ? 2u : 0u) |
+                                (in_flight ? 4u : 0u)));
 
             cache->touch(*found);
             if (is_store)
@@ -268,6 +295,10 @@ MemorySystem::demandAccess(Addr addr, Pc pc, Cycle when, bool is_store)
             if (found->prefetched && !found->used) {
                 found->used = true;
                 ++_stats.comp[found->comp].used;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchUsed,
+                                now, line, pc,
+                                static_cast<std::uint8_t>(found->comp),
+                                static_cast<std::uint8_t>(lv), 0);
                 if (_listener)
                     _listener->prefetchUsed(found->comp, lv, line);
             }
@@ -293,6 +324,9 @@ MemorySystem::demandAccess(Addr addr, Pc pc, Cycle when, bool is_store)
 
         // Primary miss at this level.
         ++ls.primaryMisses;
+        DOL_TRACE_EVENT(_trace, TraceEventType::kCacheMiss, now, line,
+                        pc, 0, static_cast<std::uint8_t>(lv),
+                        is_store ? 1 : 0);
         if (lv == kL1)
             res.l1PrimaryMiss = true;
         if (_listener)
@@ -372,10 +406,16 @@ MemorySystem::prefetch(Addr addr, unsigned dest_level, ComponentId comp,
     if (_shared->_dram.occupancy(line, std::max(when, _memClock)) >=
         kPrefetchOccupancyLimit) {
         ++_stats.comp[comp].droppedQueue;
+        DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchDropped, when,
+                        line, 0, static_cast<std::uint8_t>(comp),
+                        static_cast<std::uint8_t>(dest_level), 1);
         return PrefetchOutcome::kDroppedQueue;
     }
 
     ++_stats.comp[comp].issued;
+    DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchIssued, when,
+                    line, 0, static_cast<std::uint8_t>(comp),
+                    static_cast<std::uint8_t>(dest_level), priority);
     if (_listener)
         _listener->prefetchIssued(comp, line, dest_level, when);
 
@@ -400,6 +440,10 @@ MemorySystem::prefetch(Addr addr, unsigned dest_level, ComponentId comp,
             priority);
         if (dram_result.dropped) {
             ++_stats.comp[comp].droppedQueue;
+            DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchDropped,
+                            when, line, 0,
+                            static_cast<std::uint8_t>(comp),
+                            static_cast<std::uint8_t>(dest_level), 2);
             if (_listener)
                 _listener->prefetchDropped(comp, line);
             return PrefetchOutcome::kDroppedQueue;
@@ -417,6 +461,10 @@ MemorySystem::prefetch(Addr addr, unsigned dest_level, ComponentId comp,
         ++_stats.level[lv].prefetchFills;
     }
     ++_stats.comp[comp].filled;
+    DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchFilled,
+                    completion, line, 0,
+                    static_cast<std::uint8_t>(comp),
+                    static_cast<std::uint8_t>(dest_level), 0);
     if (_listener)
         _listener->prefetchFill(comp, line, completion);
     return PrefetchOutcome::kIssued;
@@ -425,11 +473,43 @@ MemorySystem::prefetch(Addr addr, unsigned dest_level, ComponentId comp,
 void
 MemorySystem::cancelPrefetchLine(Addr line_addr)
 {
+    unsigned level = kL1;
     for (Cache *cache : {&_l1, &_l2}) {
         if (Cache::Line *line = cache->find(line_addr)) {
-            if (line->prefetched && !line->used)
+            if (line->prefetched && !line->used) {
+                DOL_TRACE_EVENT(_trace,
+                                TraceEventType::kPrefetchDemoted,
+                                _memClock, line_addr, 0,
+                                static_cast<std::uint8_t>(line->comp),
+                                static_cast<std::uint8_t>(level), 0);
                 cache->invalidate(line_addr);
+            }
         }
+        ++level;
+    }
+}
+
+void
+MemorySystem::exportCounters(CounterRegistry &registry) const
+{
+    static const char *const kLevelNames[kNumCacheLevels] = {"L1", "L2",
+                                                             "L3"};
+    for (unsigned lv = 0; lv < kNumCacheLevels; ++lv) {
+        const LevelStats &ls = _stats.level[lv];
+        const std::string scope = kLevelNames[lv];
+        registry.set(scope, "demand_accesses", ls.demandAccesses);
+        registry.set(scope, "demand_hits", ls.demandHits);
+        registry.set(scope, "primary_misses", ls.primaryMisses);
+        registry.set(scope, "secondary_misses", ls.secondaryMisses);
+        registry.set(scope, "late_prefetch_hits", ls.latePrefetchHits);
+        registry.set(scope, "induced_misses", ls.inducedMisses);
+        registry.set(scope, "prefetch_fills", ls.prefetchFills);
+        registry.set(scope, "mshr_stalls", ls.mshrStalls);
+        registry.set(scope, "evictions", ls.evictions);
+        registry.set(scope, "writebacks", ls.writebacks);
+        registry.set(scope, "unused_prefetch_evictions",
+                     ls.unusedPrefetchEvictions);
+        registry.set(scope, "shadow_misses", ls.shadowMisses);
     }
 }
 

@@ -29,6 +29,9 @@
 namespace dol
 {
 
+class TraceContext;
+class CounterRegistry;
+
 /** Full hierarchy configuration; defaults reproduce Table I. */
 struct MemParams
 {
@@ -168,6 +171,12 @@ class MemorySystem : public DataPort
 
     void setListener(MemListener *listener) { _listener = listener; }
 
+    /** Attach the observability event bus (nullptr = tracing off). */
+    void setTraceContext(TraceContext *trace) { _trace = trace; }
+
+    /** Fold the per-level stats into @p registry (end of run). */
+    void exportCounters(CounterRegistry &registry) const;
+
     const MemStats &stats() const { return _stats; }
     SharedMemory &shared() { return *_shared; }
     const SharedMemory &shared() const { return *_shared; }
@@ -228,6 +237,7 @@ class MemorySystem : public DataPort
     Cycle _memClock = 0;
 
     MemListener *_listener = nullptr;
+    TraceContext *_trace = nullptr;
     MemStats _stats;
     std::vector<ComponentId> _compScratch;
 };

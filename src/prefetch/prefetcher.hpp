@@ -26,6 +26,9 @@
 namespace dol
 {
 
+class TraceContext;
+class CounterRegistry;
+
 /** One demand access as seen by the prefetchers (post L1 lookup). */
 struct AccessInfo
 {
@@ -181,6 +184,27 @@ class Prefetcher
 
     ComponentId id() const { return _id; }
     void setId(ComponentId id) { _id = id; }
+
+    /**
+     * Attach the observability event bus (nullptr = tracing off, the
+     * default). Composites override to fan the context out to their
+     * sub-components.
+     */
+    virtual void setTraceContext(TraceContext *trace) { _trace = trace; }
+    TraceContext *traceContext() const { return _trace; }
+
+    /**
+     * Export this component's decision counters into @p registry,
+     * scoped under the component name. Called once at end of run —
+     * components keep plain members on the hot path.
+     */
+    virtual void exportCounters(CounterRegistry &registry) const
+    {
+        (void)registry;
+    }
+
+  protected:
+    TraceContext *_trace = nullptr;
 
   private:
     std::string _name;

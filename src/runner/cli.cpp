@@ -1,0 +1,58 @@
+#include "runner/cli.hpp"
+
+namespace dol::runner
+{
+
+std::vector<std::string>
+splitCommas(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > start)
+            out.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const auto digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false; // overflow
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+bool
+parseUnsignedInRange(const std::string &text, std::uint64_t min,
+                     std::uint64_t max, std::uint64_t &out)
+{
+    std::uint64_t value = 0;
+    if (!parseUnsigned(text, value) || value < min || value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+std::string
+cellTracePath(const std::string &base, const std::string &workload,
+              const std::string &prefetcher, const std::string &variant)
+{
+    return base + "." + workload + "." + prefetcher + variant;
+}
+
+} // namespace dol::runner

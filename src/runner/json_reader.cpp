@@ -259,9 +259,23 @@ class Parser
         return fail("unterminated string");
     }
 
+    /** Containers recurse through parseValue; a hostile document of
+     *  100k unclosed '['s would otherwise smash the stack. 256 levels
+     *  is far beyond anything the runner writes. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(int &depth) : _depth(depth) { ++_depth; }
+        ~DepthGuard() { --_depth; }
+        int &_depth;
+    };
+    static constexpr int kMaxDepth = 256;
+
     bool
     parseArray(JsonValue &out)
     {
+        const DepthGuard guard(_depth);
+        if (_depth > kMaxDepth)
+            return fail("nesting too deep");
         ++_pos; // '['
         std::vector<JsonValue> elems;
         skipSpace();
@@ -295,6 +309,9 @@ class Parser
     bool
     parseObject(JsonValue &out)
     {
+        const DepthGuard guard(_depth);
+        if (_depth > kMaxDepth)
+            return fail("nesting too deep");
         ++_pos; // '{'
         std::map<std::string, JsonValue> members;
         skipSpace();
@@ -338,6 +355,7 @@ class Parser
     std::string_view _text;
     std::string *_error;
     std::size_t _pos = 0;
+    int _depth = 0;
 };
 
 } // namespace

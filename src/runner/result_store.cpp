@@ -26,6 +26,7 @@ makeMetricsRow(const RunOutput &out, const std::string &variant,
     row.effCoverageL2 = out.effCoverageL2;
     row.trafficNormalized = out.trafficNormalized;
     row.instructions = out.instructions;
+    row.counters = out.counters;
     return row;
 }
 
@@ -155,6 +156,13 @@ writeRow(JsonWriter &json, const MetricsRow &row)
     json.field("traffic_normalized", row.trafficNormalized);
     json.field("instructions", row.instructions);
     json.endObject();
+    if (!row.counters.empty()) {
+        // Sorted by (scope, name): deterministic like "results".
+        json.key("counters").beginObject();
+        for (const auto &[name, value] : row.counters.sorted())
+            json.field(name, value);
+        json.endObject();
+    }
     json.endObject();
 }
 

@@ -47,6 +47,10 @@ struct MetricsRow
     double effCoverageL2 = 0.0;
     double trafficNormalized = 1.0;
     std::uint64_t instructions = 0;
+
+    /** Optional end-of-run counter snapshot (dolsim --counters);
+     *  serialized as the row's "counters" JSON object when non-empty. */
+    CounterRegistry counters;
 };
 
 /** Flatten a RunOutput into a metric row. */

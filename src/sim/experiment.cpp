@@ -1,8 +1,12 @@
 #include "sim/experiment.hpp"
 
 #include <cstdlib>
+#include <optional>
+#include <stdexcept>
 
 #include "core/registry.hpp"
+#include "trace/context.hpp"
+#include "trace/trace_io.hpp"
 
 namespace dol
 {
@@ -123,9 +127,38 @@ ExperimentRunner::run(const WorkloadSpec &spec,
         });
     }
 
+    // Observability: a trace path attaches a binary sink; counters
+    // alone attach a sink-less context (tallies only). Neither touches
+    // the defaults, so untraced runs keep the null-pointer fast path.
+    const bool tracing = !options.tracePath.empty();
+    const bool counting = options.collectCounters || tracing;
+    TraceContext trace_ctx;
+    TraceWriter trace_writer;
+    std::optional<WriterTraceSink> trace_sink;
+    if (tracing) {
+        if (!trace_writer.open(options.tracePath)) {
+            throw std::runtime_error("trace: " + trace_writer.error());
+        }
+        trace_sink.emplace(trace_writer);
+        trace_ctx.setSink(&*trace_sink);
+    }
+    if (counting)
+        sim.setTraceContext(&trace_ctx);
+
     sim.run();
 
     RunOutput out;
+    if (counting) {
+        sim.exportCounters(out.counters);
+        trace_ctx.exportEventCounts(out.counters);
+    }
+    if (tracing) {
+        if (!trace_writer.close()) {
+            throw std::runtime_error("trace: " + trace_writer.error());
+        }
+        out.counters.set("trace", "events", trace_writer.eventCount());
+        out.counters.set("trace", "bytes_fnv64", trace_writer.digest());
+    }
     out.workload = spec.name;
     out.prefetcher = prefetcher_name;
     out.ipc = sim.ipc();

@@ -24,6 +24,7 @@
 #include "metrics/accounting.hpp"
 #include "metrics/stratify.hpp"
 #include "sim/simulator.hpp"
+#include "trace/counters.hpp"
 #include "workloads/suite.hpp"
 
 namespace dol
@@ -85,6 +86,10 @@ struct RunOutput
 
     /** Lines this run prefetched (input to Figure 14's exclusion). */
     std::shared_ptr<std::unordered_set<Addr>> pfp;
+
+    /** End-of-run counter snapshot, populated when the run collected
+     *  counters (RunOptions::collectCounters or a trace path). */
+    CounterRegistry counters;
 };
 
 /** Per-run options beyond the prefetcher name. */
@@ -100,6 +105,12 @@ struct RunOptions
     bool oracleDest = false;
     /** Exclude set for focus-region accounting (Figure 14). */
     std::shared_ptr<const std::unordered_set<Addr>> exclude;
+
+    /** Write this run's binary event trace here (empty = no trace). */
+    std::string tracePath;
+    /** Collect end-of-run counters into RunOutput::counters (implied
+     *  by a non-empty tracePath). */
+    bool collectCounters = false;
 };
 
 class BaselineCache;

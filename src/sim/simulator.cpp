@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include "common/log.hpp"
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
 
 namespace dol
 {
@@ -87,6 +89,48 @@ void
 Simulator::run()
 {
     while (_instrs < _config.maxInstrs && step()) {
+    }
+}
+
+void
+Simulator::setTraceContext(TraceContext *trace)
+{
+    _mem.setTraceContext(trace);
+    _core.setTraceContext(trace);
+    if (_prefetcher)
+        _prefetcher->setTraceContext(trace);
+}
+
+void
+Simulator::exportCounters(CounterRegistry &registry) const
+{
+    if (_prefetcher)
+        _prefetcher->exportCounters(registry);
+    _mem.exportCounters(registry);
+
+    const CoreStats &cs = _core.stats();
+    registry.set("core", "instructions", _instrs);
+    registry.set("core", "loads", cs.loads);
+    registry.set("core", "stores", cs.stores);
+    registry.set("core", "branches", cs.branches);
+    registry.set("core", "mispredicts", cs.mispredicts);
+    registry.set("core", "cycles", _core.finalCycle());
+
+    // Per-component prefetch outcomes, under "pf.<component name>".
+    const MemStats &ms = _mem.stats();
+    for (ComponentId comp = 1; comp < kMaxComponents; ++comp) {
+        const ComponentStats &stats = ms.comp[comp];
+        if (stats.issued == 0 && stats.filtered == 0 &&
+            stats.droppedMshr == 0 && stats.droppedQueue == 0) {
+            continue;
+        }
+        const std::string scope = "pf." + _componentNames[comp];
+        registry.set(scope, "issued", stats.issued);
+        registry.set(scope, "filled", stats.filled);
+        registry.set(scope, "used", stats.used);
+        registry.set(scope, "filtered", stats.filtered);
+        registry.set(scope, "dropped_mshr", stats.droppedMshr);
+        registry.set(scope, "dropped_queue", stats.droppedQueue);
     }
 }
 

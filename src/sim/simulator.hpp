@@ -84,6 +84,19 @@ class Simulator
         return _componentNames;
     }
 
+    /**
+     * Attach the observability event bus to every instrumented layer
+     * (core, memory hierarchy, prefetcher tree). nullptr detaches.
+     */
+    void setTraceContext(TraceContext *trace);
+
+    /**
+     * Harvest end-of-run counters from every layer into @p registry:
+     * component decision counters, per-level cache stats, per-component
+     * prefetch outcomes (named), and core totals.
+     */
+    void exportCounters(CounterRegistry &registry) const;
+
   private:
     struct FillEvent
     {

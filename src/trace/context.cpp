@@ -1,0 +1,18 @@
+#include "trace/context.hpp"
+
+namespace dol
+{
+
+void
+TraceContext::exportEventCounts(CounterRegistry &registry) const
+{
+    for (unsigned t = 0; t < kNumTraceEventTypes; ++t) {
+        if (_eventCounts[t] == 0)
+            continue;
+        registry.set("trace",
+                     traceEventName(static_cast<TraceEventType>(t)),
+                     _eventCounts[t]);
+    }
+}
+
+} // namespace dol

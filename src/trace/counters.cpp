@@ -1,0 +1,43 @@
+#include "trace/counters.hpp"
+
+namespace dol
+{
+
+std::uint64_t &
+CounterRegistry::counter(const std::string &scope,
+                         const std::string &name)
+{
+    return _counters[{scope, name}];
+}
+
+void
+CounterRegistry::set(const std::string &scope, const std::string &name,
+                     std::uint64_t value)
+{
+    _counters[{scope, name}] = value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterRegistry::sorted() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(_counters.size());
+    for (const auto &[key, value] : _counters)
+        out.emplace_back(key.first + "." + key.second, value);
+    return out;
+}
+
+std::string
+CounterRegistry::toText() const
+{
+    std::string out;
+    for (const auto &[name, value] : sorted()) {
+        out += name;
+        out.push_back(' ');
+        out += std::to_string(value);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace dol

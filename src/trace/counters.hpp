@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-component counter registry.
+ *
+ * A CounterRegistry is a flat namespace of (scope, name) -> uint64
+ * counters: scopes group counters by the component or layer that owns
+ * them ("T2", "P1", "C1", "mem.L1", "core", "trace"). The registry is
+ * harvested once at end of run — components keep plain member
+ * counters on the hot path and export them here — so disabled-tracing
+ * runs pay nothing. Serialization is sorted by (scope, name), making
+ * two runs of the same cell produce byte-identical counter text.
+ */
+
+#ifndef DOL_TRACE_COUNTERS_HPP
+#define DOL_TRACE_COUNTERS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dol
+{
+
+class CounterRegistry
+{
+  public:
+    /** Find-or-create; the reference stays valid for the registry's
+     *  lifetime (std::map nodes are stable). */
+    std::uint64_t &counter(const std::string &scope,
+                           const std::string &name);
+
+    /** Shorthand for harvest sites: overwrite with @p value. */
+    void set(const std::string &scope, const std::string &name,
+             std::uint64_t value);
+
+    bool empty() const { return _counters.empty(); }
+    std::size_t size() const { return _counters.size(); }
+
+    /** All counters, sorted by (scope, name), flattened "scope.name". */
+    std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+    /** One "scope.name value\n" line per counter, sorted. */
+    std::string toText() const;
+
+    void clear() { _counters.clear(); }
+
+  private:
+    std::map<std::pair<std::string, std::string>, std::uint64_t>
+        _counters;
+};
+
+} // namespace dol
+
+#endif // DOL_TRACE_COUNTERS_HPP

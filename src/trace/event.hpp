@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structured trace events: the vocabulary of the observability layer.
+ *
+ * Every decision the paper's composite design makes — a prefetch
+ * leaving a component, the coordinator (un)claiming an instruction,
+ * P1's chasing FSM advancing or resyncing, C1 reaching a density
+ * verdict — maps to one fixed-size event record. Records are plain
+ * data (no pointers, no strings), so a trace serializes to a stable
+ * 28-byte wire format and two runs of the same cell produce
+ * byte-identical streams regardless of the sweep's worker count.
+ */
+
+#ifndef DOL_TRACE_EVENT_HPP
+#define DOL_TRACE_EVENT_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dol
+{
+
+enum class TraceEventType : std::uint8_t
+{
+    // Prefetch lifecycle (memory system).
+    kPrefetchIssued = 0, ///< left the component, post filtering
+    kPrefetchFilled,     ///< fill completed at the destination level
+    kPrefetchUsed,       ///< first demand use of a prefetched line
+    kPrefetchLate,       ///< demand arrived while the fill was in flight
+    kPrefetchDropped,    ///< shed by the memory controller
+    kPrefetchDemoted,    ///< unused prefetched line evicted/cancelled
+
+    // Demand-stream cache events.
+    kCacheHit,   ///< demand hit at `level`
+    kCacheMiss,  ///< primary demand miss at `level`
+    kCacheEvict, ///< valid line displaced at `level` (arg: flag bits)
+
+    // T2 stride component.
+    kT2Transition, ///< instruction state change (arg: new InstrState)
+
+    // P1 pointer component.
+    kP1ChainStart,      ///< chain confirmed; chasing FSM armed
+    kP1ChainAdvance,    ///< FSM followed one link (addr: link address)
+    kP1ChainResync,     ///< timeout reset: chain off track too long
+    kP1ProducerConfirm, ///< scout confirmed an array-of-pointers pair
+
+    // C1 region component.
+    kC1RegionDense, ///< evicted region was dense (arg: line popcount)
+    kC1Verdict,     ///< instruction judged (arg: 1 marked, 0 rejected)
+    kC1CarpetFire,  ///< whole-region prefetch fired (addr: region base)
+
+    // Coordinator.
+    kCoordClaim,   ///< instruction ownership changed (arg: owner code)
+    kCoordUnclaim, ///< instruction ownership dropped to none
+
+    // CPU core.
+    kCoreMispredict, ///< branch mispredict redirected the front end
+
+    kNumTraceEventTypes,
+};
+
+constexpr unsigned kNumTraceEventTypes =
+    static_cast<unsigned>(TraceEventType::kNumTraceEventTypes);
+
+/** Owner codes carried by kCoordClaim (mirrors CompositePrefetcher). */
+enum : std::uint8_t
+{
+    kOwnerNone = 0,
+    kOwnerT2 = 1,
+    kOwnerP1 = 2,
+    kOwnerC1 = 3,
+    kOwnerExtra = 4,
+};
+
+/** Flag bits carried by kCacheEvict. */
+enum : std::uint8_t
+{
+    kEvictDirty = 1,
+    kEvictPrefetched = 2,
+    kEvictUsed = 4,
+};
+
+/**
+ * One trace record. `addr`/`aux`/`cycle` carry event-specific payloads
+ * (documented per event type above); `comp` is the component id that
+ * caused the event (0 = none) and `level` the cache level involved.
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Addr addr = 0;
+    std::uint64_t aux = 0; ///< usually the mPC involved
+    TraceEventType type = TraceEventType::kPrefetchIssued;
+    std::uint8_t comp = 0;
+    std::uint8_t level = 0;
+    std::uint8_t arg = 0;
+
+    bool
+    operator==(const TraceEvent &other) const
+    {
+        return cycle == other.cycle && addr == other.addr &&
+               aux == other.aux && type == other.type &&
+               comp == other.comp && level == other.level &&
+               arg == other.arg;
+    }
+};
+
+/** Stable symbolic name (golden snapshots, text dumps). */
+const char *traceEventName(TraceEventType type);
+
+} // namespace dol
+
+#endif // DOL_TRACE_EVENT_HPP

@@ -9,6 +9,7 @@
 
 #include "core/c1.hpp"
 #include "mem/memory_system.hpp"
+#include "trace/context.hpp"
 
 namespace dol
 {
@@ -142,6 +143,153 @@ TEST_F(C1Test, MarkedInstructionTriggersRegionPrefetchToL2)
     // Re-touching the same region does not re-bomb it.
     access(0x400, fresh + 7 * kLineBytes);
     EXPECT_EQ(c1.regionsPrefetched(), before + 1);
+}
+
+std::vector<TraceEvent>
+eventsOfType(const MemoryTraceSink &sink, TraceEventType type)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &event : sink.events) {
+        if (event.type == type)
+            out.push_back(event);
+    }
+    return out;
+}
+
+TEST_F(C1Test, DensityExactlySixSixteenthsIsNotDense)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    c1.setTraceContext(&ctx);
+
+    // The paper's rule is *strictly more than* 6 of 16 lines: a
+    // region with exactly 6 must not count as dense, so an
+    // instruction whose every region has 6 lines is never marked.
+    ASSERT_TRUE(c1.considerInstruction(0x500));
+    Addr base = 0x1000000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x500, base, 6);
+        base += kRegionBytes;
+    }
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2000000 + i * kRegionBytes);
+
+    EXPECT_FALSE(c1.isMarked(0x500));
+    EXPECT_TRUE(eventsOfType(sink, TraceEventType::kC1RegionDense)
+                    .empty());
+    const auto verdicts =
+        eventsOfType(sink, TraceEventType::kC1Verdict);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].aux, 0x500u);
+    EXPECT_EQ(verdicts[0].level, 0u) << "no region may count dense";
+    EXPECT_EQ(verdicts[0].arg, 0u) << "verdict must be 'reject'";
+}
+
+TEST_F(C1Test, DensitySevenSixteenthsIsDense)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    c1.setTraceContext(&ctx);
+
+    // One line over the threshold flips every region to dense and
+    // the verdict to 'mark'.
+    ASSERT_TRUE(c1.considerInstruction(0x510));
+    Addr base = 0x1100000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x510, base, 7);
+        base += kRegionBytes;
+    }
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2100000 + i * kRegionBytes);
+
+    EXPECT_TRUE(c1.isMarked(0x510));
+    const auto dense =
+        eventsOfType(sink, TraceEventType::kC1RegionDense);
+    ASSERT_EQ(dense.size(), 4u);
+    for (const TraceEvent &event : dense)
+        EXPECT_EQ(event.arg, 7u) << "popcount of the line vector";
+    const auto verdicts =
+        eventsOfType(sink, TraceEventType::kC1Verdict);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].level, 4u);
+    EXPECT_EQ(verdicts[0].arg, 1u);
+}
+
+TEST_F(C1Test, ProbabilityExactlyThreeQuartersIsNotMarked)
+{
+    // The rule is *strictly more than* 3/4: 3 dense regions out of 4
+    // sits exactly on the boundary and must not mark.
+    ASSERT_TRUE(c1.considerInstruction(0x600));
+    touchRegion(0x600, 0x1200000, 12);
+    touchRegion(0x600, 0x1200000 + kRegionBytes, 12);
+    touchRegion(0x600, 0x1200000 + 2 * kRegionBytes, 12);
+    touchRegion(0x600, 0x1200000 + 3 * kRegionBytes, 2);
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2200000 + i * kRegionBytes);
+
+    EXPECT_FALSE(c1.isMarked(0x600));
+    // The slot is vacated, and 4 dense of 4 on the retry marks: the
+    // reject cache must not have latched the boundary case forever.
+    ASSERT_TRUE(c1.considerInstruction(0x601));
+    Addr base = 0x1300000;
+    for (int r = 0; r < 4; ++r) {
+        touchRegion(0x601, base, 12);
+        base += kRegionBytes;
+    }
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2300000 + i * kRegionBytes);
+    EXPECT_TRUE(c1.isMarked(0x601));
+}
+
+TEST_F(C1Test, RegionWrapAddressingSplitsAtBoundary)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    c1.setTraceContext(&ctx);
+
+    // 6 lines in the region plus the first line of the *next* region:
+    // if boundary addresses leaked into the wrong region the vector
+    // would reach 7 lines and go dense.
+    ASSERT_TRUE(c1.considerInstruction(0x700));
+    const Addr base = 0x1400000;
+    ASSERT_EQ(base % kRegionBytes, 0u);
+    touchRegion(0x700, base, 6);
+    access(0x700, base + kRegionBytes); // neighbour, not line 16
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2400000 + i * kRegionBytes);
+    EXPECT_TRUE(
+        eventsOfType(sink, TraceEventType::kC1RegionDense).empty());
+}
+
+TEST_F(C1Test, RegionWrapLastByteMapsToLastLine)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    c1.setTraceContext(&ctx);
+
+    // The region's last byte and its last line's base are the same
+    // line: together with 6 low lines that is 7 distinct lines, and
+    // the dense event's address must be the region base.
+    ASSERT_TRUE(c1.considerInstruction(0x710));
+    const Addr base = 0x1500000;
+    touchRegion(0x710, base, 6);
+    access(0x710, base + kRegionBytes - 1);
+    access(0x710, base + (kRegionLineCount - 1) * kLineBytes);
+    for (int i = 0; i < 32; ++i)
+        access(0x999, 0x2500000 + i * kRegionBytes);
+
+    const auto dense =
+        eventsOfType(sink, TraceEventType::kC1RegionDense);
+    ASSERT_EQ(dense.size(), 1u);
+    EXPECT_EQ(dense[0].arg, 7u)
+        << "the two boundary touches are one line";
+    EXPECT_EQ(dense[0].addr, base);
+    // Line vector: bits 0-5 plus bit 15.
+    EXPECT_EQ(dense[0].aux, 0x803fu);
 }
 
 TEST_F(C1Test, StorageBudgetNearTableII)

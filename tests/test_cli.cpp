@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Input-hardening tests: the strict CLI parsing helpers behind
+ * dolsim's flags (splitCommas, parseUnsigned, per-cell trace paths)
+ * and fuzzing of the dol-sweep-v1 JSON reader on truncated and
+ * garbage documents — malformed input must produce clean errors,
+ * never crashes or silently wrapped values.
+ */
+
+#include <climits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/cli.hpp"
+#include "runner/json_reader.hpp"
+
+namespace
+{
+
+using namespace dol::runner;
+
+TEST(SplitCommas, SplitsAndSkipsEmptyTokens)
+{
+    EXPECT_EQ(splitCommas("TPC,SPP,BOP"),
+              (std::vector<std::string>{"TPC", "SPP", "BOP"}));
+    EXPECT_EQ(splitCommas("TPC"), (std::vector<std::string>{"TPC"}));
+    EXPECT_EQ(splitCommas("TPC,,SPP"),
+              (std::vector<std::string>{"TPC", "SPP"}));
+    EXPECT_EQ(splitCommas(",TPC,"), (std::vector<std::string>{"TPC"}));
+    EXPECT_TRUE(splitCommas("").empty());
+    EXPECT_TRUE(splitCommas(",,,").empty());
+}
+
+TEST(ParseUnsigned, AcceptsPlainDecimal)
+{
+    std::uint64_t out = 0;
+    EXPECT_TRUE(parseUnsigned("0", out));
+    EXPECT_EQ(out, 0u);
+    EXPECT_TRUE(parseUnsigned("200000", out));
+    EXPECT_EQ(out, 200000u);
+    EXPECT_TRUE(parseUnsigned("18446744073709551615", out));
+    EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(ParseUnsigned, RejectsWhatStrtoulWouldAccept)
+{
+    std::uint64_t out = 41;
+    // strtoul("-1") silently wraps to UINT64_MAX; we must refuse.
+    EXPECT_FALSE(parseUnsigned("-1", out));
+    EXPECT_FALSE(parseUnsigned("+4", out));
+    EXPECT_FALSE(parseUnsigned(" 4", out));
+    EXPECT_FALSE(parseUnsigned("4 ", out));
+    EXPECT_FALSE(parseUnsigned("0x10", out));
+    EXPECT_FALSE(parseUnsigned("1e3", out));
+    EXPECT_FALSE(parseUnsigned("", out));
+    EXPECT_FALSE(parseUnsigned("12abc", out));
+    // One past UINT64_MAX and far past: both overflow cleanly.
+    EXPECT_FALSE(parseUnsigned("18446744073709551616", out));
+    EXPECT_FALSE(parseUnsigned("99999999999999999999999", out));
+    EXPECT_EQ(out, 41u) << "out must be untouched on failure";
+}
+
+TEST(ParseUnsignedInRange, EnforcesBothBounds)
+{
+    std::uint64_t out = 7;
+    EXPECT_TRUE(parseUnsignedInRange("4096", 0, 4096, out));
+    EXPECT_EQ(out, 4096u);
+    EXPECT_FALSE(parseUnsignedInRange("4097", 0, 4096, out));
+    EXPECT_FALSE(parseUnsignedInRange("0", 1, UINT64_MAX, out));
+    EXPECT_TRUE(parseUnsignedInRange("1", 1, UINT64_MAX, out));
+    EXPECT_FALSE(parseUnsignedInRange("-1", 0, 4096, out));
+    EXPECT_FALSE(parseUnsignedInRange("", 0, 4096, out));
+}
+
+TEST(CellTracePath, ComposesPerCellNames)
+{
+    EXPECT_EQ(cellTracePath("run.trc", "mcf.syn", "TPC", ""),
+              "run.trc.mcf.syn.TPC");
+    EXPECT_EQ(cellTracePath("run.trc", "mcf.syn", "TPC", ":l2"),
+              "run.trc.mcf.syn.TPC:l2");
+    // Distinct cells must never share a file (writer exclusivity).
+    EXPECT_NE(cellTracePath("t", "a.syn", "TPC", ""),
+              cellTracePath("t", "a.syn", "SPP", ""));
+}
+
+// --- dol-sweep-v1 JSON reader fuzz --------------------------------
+
+const char kSweepDoc[] = R"({
+  "schema": "dol-sweep-v1",
+  "generator": "dolsim",
+  "config": {"max_instrs": 20000},
+  "results": [
+    {"workload": "mcf.syn", "prefetcher": "TPC", "variant": "",
+     "seed": 123,
+     "metrics": {"ipc": 0.51, "speedup": 1.25},
+     "counters": {"T2.streams_confirmed": 14,
+                  "trace.bytes_fnv64": 17635784611008994966}}
+  ],
+  "timing": {"jobs": 4, "elapsed_seconds": 0.5, "wall_ms": [1.5]}
+})";
+
+TEST(JsonReaderFuzz, ParsesSweepDocument)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(kSweepDoc, doc, &error)) << error;
+    EXPECT_EQ(doc.stringOr("schema", ""), "dol-sweep-v1");
+    const JsonValue *results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->array().size(), 1u);
+    const JsonValue *counters = results->array()[0].find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->numberOr("T2.streams_confirmed", 0), 14.0);
+}
+
+TEST(JsonReaderFuzz, TruncatedAtEveryPrefixNeverCrashes)
+{
+    const std::string doc = kSweepDoc;
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+        JsonValue out;
+        std::string error;
+        const bool ok = parseJson(doc.substr(0, len), out, &error);
+        // Every proper prefix of this document is invalid JSON.
+        EXPECT_FALSE(ok) << "prefix length " << len;
+        EXPECT_FALSE(error.empty()) << "prefix length " << len;
+    }
+}
+
+TEST(JsonReaderFuzz, GarbageDocumentsGiveCleanErrors)
+{
+    const char *garbage[] = {
+        "",
+        "   ",
+        "{",
+        "}",
+        "[1,2",
+        "{\"a\": }",
+        "{\"a\": 1,}",
+        "{\"a\" 1}",
+        "nul",
+        "truefalse",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"bad unicode \\u12g4\"",
+        "0x10",
+        "1e",
+        "--4",
+        "{\"a\": [{\"b\": {]}}",
+        "\x80\xff\xfe garbage bytes",
+    };
+    for (const char *text : garbage) {
+        JsonValue out;
+        std::string error;
+        EXPECT_FALSE(parseJson(text, out, &error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonReaderFuzz, DeepNestingDoesNotOverflowTheStack)
+{
+    // 100k unclosed arrays: must fail cleanly (depth limit or
+    // truncation error), not crash on recursion.
+    std::string deep(100000, '[');
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonReaderFuzz, TrailingGarbageRejected)
+{
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": 1} tail", out, &error));
+    EXPECT_FALSE(parseJson("1 2", out, &error));
+}
+
+TEST(JsonReaderFuzz, MissingFileIsCleanError)
+{
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(
+        parseJsonFile("/nonexistent/dol-sweep.json", out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

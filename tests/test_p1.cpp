@@ -5,12 +5,16 @@
  * and the timeout-based correction mechanisms.
  */
 
+#include <algorithm>
+#include <initializer_list>
+
 #include <gtest/gtest.h>
 
 #include "core/p1.hpp"
 #include "core/t2.hpp"
 #include "mem/memory_image.hpp"
 #include "mem/memory_system.hpp"
+#include "trace/context.hpp"
 
 namespace dol
 {
@@ -242,6 +246,180 @@ TEST_F(P1Test, DependentTimeoutUnmarksProducer)
     const SitEntry *sit = t2.sitLookup(0x100);
     ASSERT_NE(sit, nullptr);
     EXPECT_FALSE(sit->ptrProducer);
+}
+
+/** Keep only the events whose type is in @p types, in order. */
+std::vector<TraceEvent>
+filterEvents(const std::vector<TraceEvent> &events,
+             std::initializer_list<TraceEventType> types)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &event : events) {
+        for (const TraceEventType type : types) {
+            if (event.type == type) {
+                out.push_back(event);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+TEST_F(P1Test, ResyncFsmEmitsExactTransitionSequence)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    p1.setTraceContext(&ctx);
+
+    const Addr pool = 0x30000000;
+    const std::uint64_t nodes = 256;
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        image.write64(pool + i * 128, pool + ((i + 1) % nodes) * 128);
+
+    Addr current = pool;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t next = image.read64(current);
+        feed(makeLoad(0x300, current, next, 10, 10));
+        current = next;
+    }
+    ASSERT_TRUE(p1.isChainConfirmed(0x300));
+
+    // The traversal leaves the list: once timeoutIters consecutive
+    // demands miss the prediction ring the FSM must emit exactly one
+    // resync (32 junk feeds give T2 time to write the stream off so
+    // P1 sees every one).
+    for (unsigned i = 0; i < 32; ++i) {
+        const Addr junk = 0x70000000 + (i * 977 % 1024) * 4096;
+        feed(makeLoad(0x300, junk, 0, 10, 10));
+    }
+    ASSERT_FALSE(p1.isChainConfirmed(0x300));
+
+    // Exact chain-FSM transition sequence: one confirmation, then one
+    // timeout resync — no spurious re-confirmations or double resets.
+    const auto fsm = filterEvents(
+        sink.events, {TraceEventType::kP1ChainStart,
+                      TraceEventType::kP1ChainResync});
+    ASSERT_EQ(fsm.size(), 2u);
+    EXPECT_EQ(fsm[0].type, TraceEventType::kP1ChainStart);
+    EXPECT_EQ(fsm[0].aux, 0x300u);
+    EXPECT_EQ(fsm[1].type, TraceEventType::kP1ChainResync);
+    EXPECT_EQ(fsm[1].aux, 0x300u);
+    EXPECT_EQ(fsm[1].arg, 0u) << "arg 0 = chain resync";
+    EXPECT_GE(fsm[1].cycle, fsm[0].cycle);
+
+    // Every link the FSM chased belongs to this chain, and chasing
+    // stops at the resync: in emission order no advance may follow
+    // it (a late fill on the reset entry must be ignored).
+    const auto advances =
+        filterEvents(sink.events, {TraceEventType::kP1ChainAdvance});
+    ASSERT_FALSE(advances.empty());
+    for (const TraceEvent &event : advances)
+        EXPECT_EQ(event.aux, 0x300u);
+    EXPECT_EQ(sink.events.back().type, TraceEventType::kP1ChainResync);
+}
+
+TEST_F(P1Test, DependentTimeoutEmitsConfirmThenResync)
+{
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    p1.setTraceContext(&ctx);
+
+    const Addr array_base = 0x10000000;
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        image.write64(array_base + i * 8,
+                      0x40000000 + ((i * 31) % 4096) * 256);
+
+    for (std::uint64_t i = 0; i < 60; ++i)
+        pointerArrayIteration(i, array_base, 24);
+    ASSERT_TRUE(p1.isDependent(0x108));
+
+    for (std::uint64_t i = 60; i < 100; ++i) {
+        const Addr slot = array_base + i * 8;
+        const std::uint64_t object = image.read64(slot);
+        feed(makeLoad(0x100, slot, object, 10, 1));
+        feed(makeAlu(0x104, 11, 10));
+        feed(makeLoad(0x108, 0x60000000 + i * 8192, 0, 12, 11));
+        feed(makeBranch(0x110, 0x100, true));
+    }
+    ASSERT_FALSE(p1.isDependent(0x108));
+
+    // Exact producer/dependent lifecycle: one scout confirmation
+    // (aux = producer mPC, addr = dependent mPC), then one dependent
+    // timeout resync distinguished from chain resyncs by arg = 1.
+    const auto fsm = filterEvents(
+        sink.events, {TraceEventType::kP1ProducerConfirm,
+                      TraceEventType::kP1ChainResync});
+    ASSERT_EQ(fsm.size(), 2u);
+    EXPECT_EQ(fsm[0].type, TraceEventType::kP1ProducerConfirm);
+    EXPECT_EQ(fsm[0].aux, 0x100u);
+    EXPECT_EQ(fsm[0].addr, 0x108u);
+    EXPECT_EQ(fsm[1].type, TraceEventType::kP1ChainResync);
+    EXPECT_EQ(fsm[1].aux, 0x108u);
+    EXPECT_EQ(fsm[1].arg, 1u) << "arg 1 = dependent timeout";
+}
+
+TEST_F(P1Test, StridedPointerPathRunsAtDoubledDistance)
+{
+    // Trace the memory system: P1's dependent prefetches appear as
+    // pf_issued events with comp = 2, and their target objects tell
+    // us how far ahead of the demand stream the path runs.
+    TraceContext ctx;
+    MemoryTraceSink sink;
+    ctx.setSink(&sink);
+    mem.setTraceContext(&ctx);
+
+    const Addr array_base = 0x10000000;
+    const Addr heap = 0x40000000;
+    const std::int64_t field_offset = 24;
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        image.write64(array_base + i * 8,
+                      heap + ((i * 7919) % 4096) * 256);
+
+    for (std::uint64_t i = 0; i < 60; ++i)
+        pointerArrayIteration(i, array_base, field_offset);
+    ASSERT_TRUE(p1.isDependent(0x108));
+    const unsigned dist_before = t2.distance();
+    ASSERT_GT(dist_before, 1u);
+
+    sink.events.clear();
+    const std::uint64_t last = 80;
+    for (std::uint64_t i = 60; i < last; ++i)
+        pointerArrayIteration(i, array_base, field_offset);
+    // The distance ramp may drift during the window; bound against
+    // the smaller endpoint.
+    const unsigned dist = std::min(dist_before, t2.distance());
+
+    // Map each P1-issued line back to the array slot whose object it
+    // covers (objects are 256 B apart, so lines identify slots).
+    std::uint64_t max_slot = 0;
+    unsigned p1_issues = 0;
+    for (const TraceEvent &event : sink.events) {
+        if (event.type != TraceEventType::kPrefetchIssued ||
+            event.comp != 2) {
+            continue;
+        }
+        ++p1_issues;
+        bool found = false;
+        for (std::uint64_t slot = 0; slot < 8192 && !found; ++slot) {
+            const Addr object = image.read64(array_base + slot * 8);
+            if (lineAddr(object + field_offset) == event.addr) {
+                max_slot = std::max(max_slot, slot);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found)
+            << "P1 issued a non-dependent line 0x" << std::hex
+            << event.addr;
+    }
+    ASSERT_GT(p1_issues, 0u);
+
+    // The frontier must run beyond the single prefetch distance —
+    // that is the whole point of doubling for producers — but never
+    // past 2x (plus the two-per-execution catch-up allowance).
+    EXPECT_GT(max_slot, last - 1 + dist);
+    EXPECT_LE(max_slot, last - 1 + 2 * t2.params().maxDistance + 2);
 }
 
 TEST_F(P1Test, StorageBudgetNearTableII)

@@ -1,0 +1,65 @@
+# Trace determinism check, run as a ctest via `cmake -P`.
+#
+# Runs the same multi-cell traced sweep once with --jobs 1 and once
+# with --jobs 4, then requires every per-cell trace file to be
+# byte-identical between the two runs. This is the contract the event
+# bus documents: trace bytes depend only on the cell, never on worker
+# scheduling.
+#
+# Usage:
+#   cmake -DDOLSIM=<path-to-dolsim> -DWORKDIR=<scratch-dir>
+#         -P trace_determinism.cmake
+
+foreach(required DOLSIM WORKDIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "trace_determinism: -D${required}= not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(sweep_args
+    --workload libquantum.syn,mcf.syn
+    --prefetcher TPC,SPP
+    --instrs 20000
+    --quiet)
+
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND "${DOLSIM}" ${sweep_args} --jobs ${jobs}
+                --trace "${WORKDIR}/j${jobs}.trc"
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "trace_determinism: dolsim --jobs ${jobs} failed (${rc})")
+    endif()
+endforeach()
+
+set(cells
+    libquantum.syn.TPC
+    libquantum.syn.SPP
+    mcf.syn.TPC
+    mcf.syn.SPP)
+
+foreach(cell ${cells})
+    set(a "${WORKDIR}/j1.trc.${cell}")
+    set(b "${WORKDIR}/j4.trc.${cell}")
+    foreach(path ${a} ${b})
+        if(NOT EXISTS "${path}")
+            message(FATAL_ERROR
+                    "trace_determinism: missing trace file ${path}")
+        endif()
+    endforeach()
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+        RESULT_VARIABLE differs)
+    if(NOT differs EQUAL 0)
+        message(FATAL_ERROR
+                "trace_determinism: ${cell} trace differs between "
+                "--jobs 1 and --jobs 4")
+    endif()
+endforeach()
+
+message(STATUS "trace_determinism: all ${cells} byte-identical")

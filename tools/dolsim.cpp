@@ -12,6 +12,9 @@
  *   dolsim --suite spec --prefetcher TPC,SPP,BOP --jobs 8 --csv
  *   dolsim --suite all --prefetcher TPC --json results.json
  *   dolsim --workload mcf.syn --prefetcher TPC --dest l2
+ *   dolsim --workload mcf.syn --prefetcher TPC --trace run.trc
+ *   dolsim --dump-trace run.trc
+ *   dolsim --workload mcf.syn --counters --json results.json
  */
 
 #include <cstdio>
@@ -21,14 +24,19 @@
 
 #include "common/log.hpp"
 #include "metrics/table.hpp"
+#include "runner/cli.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "trace/trace_io.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/trace_file.hpp"
 
 namespace
 {
+
+using dol::runner::parseUnsignedInRange;
+using dol::runner::splitCommas;
 
 struct Options
 {
@@ -39,28 +47,14 @@ struct Options
     bool csv = false;
     bool list = false;
     bool quiet = false; ///< suppress the progress line
+    bool counters = false; ///< collect per-component counters
     std::string json; ///< write dol-sweep-v1 JSON to this file
     std::string record; ///< record first workload's trace to a file
     std::string replay; ///< replay a trace file as the workload
+    std::string trace; ///< write binary event trace(s) to this path
+    std::string dumpTrace; ///< dump a binary event trace as text
     std::string dest; ///< "", "l1", "l2", "stratified"
 };
-
-/** Split on commas, skipping empty tokens ("TPC,,SPP" -> 2 names). */
-std::vector<std::string>
-splitCommas(const std::string &value)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= value.size()) {
-        std::size_t comma = value.find(',', start);
-        if (comma == std::string::npos)
-            comma = value.size();
-        if (comma > start)
-            out.push_back(value.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
-}
 
 void
 usage()
@@ -81,6 +75,13 @@ usage()
         "destination\n"
         "  --record FILE              record the workload's trace\n"
         "  --replay FILE              replay a recorded trace\n"
+        "  --trace FILE               write binary event trace(s); "
+        "multi-cell sweeps\n"
+        "                             write FILE.<workload>.<pf>\n"
+        "  --dump-trace FILE          print a binary event trace as "
+        "text and exit\n"
+        "  --counters                 collect decision counters "
+        "(JSON \"counters\")\n"
         "  --csv                      machine-readable output\n"
         "  --quiet                    no progress line on stderr\n");
 }
@@ -95,6 +96,12 @@ parse(int argc, char **argv)
             if (i + 1 >= argc)
                 dol::fatal("missing value for " + arg);
             return argv[++i];
+        };
+        auto nextPath = [&]() -> std::string {
+            const std::string value = next();
+            if (value.empty())
+                dol::fatal("empty path for " + arg);
+            return value;
         };
         if (arg == "--list") {
             options.list = true;
@@ -114,18 +121,33 @@ parse(int argc, char **argv)
             if (options.prefetchers.empty())
                 dol::fatal("empty --prefetcher list");
         } else if (arg == "--instrs") {
-            options.instrs = std::strtoull(next().c_str(), nullptr, 10);
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 1, UINT64_MAX,
+                                      options.instrs)) {
+                dol::fatal("bad --instrs value: " + value);
+            }
         } else if (arg == "--jobs") {
-            options.jobs = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 10));
+            // Strict: rejects "-1" (would wrap through strtoul),
+            // "abc", "1e3", "". 0 means hardware concurrency.
+            const std::string value = next();
+            std::uint64_t jobs = 0;
+            if (!parseUnsignedInRange(value, 0, 4096, jobs))
+                dol::fatal("bad --jobs value: " + value);
+            options.jobs = static_cast<unsigned>(jobs);
         } else if (arg == "--json") {
-            options.json = next();
+            options.json = nextPath();
         } else if (arg == "--dest") {
             options.dest = next();
         } else if (arg == "--record") {
-            options.record = next();
+            options.record = nextPath();
         } else if (arg == "--replay") {
-            options.replay = next();
+            options.replay = nextPath();
+        } else if (arg == "--trace") {
+            options.trace = nextPath();
+        } else if (arg == "--dump-trace") {
+            options.dumpTrace = nextPath();
+        } else if (arg == "--counters") {
+            options.counters = true;
         } else if (arg == "--csv") {
             options.csv = true;
         } else if (arg == "--quiet") {
@@ -156,6 +178,15 @@ main(int argc, char **argv)
         for (const auto &spec : allWorkloads())
             table.addRow({spec.name, spec.suite});
         table.print();
+        return 0;
+    }
+
+    if (!options.dumpTrace.empty()) {
+        std::string error;
+        if (!dumpTraceText(options.dumpTrace, stdout, &error)) {
+            std::fprintf(stderr, "dolsim: %s\n", error.c_str());
+            return 1;
+        }
         return 0;
     }
 
@@ -196,12 +227,37 @@ main(int argc, char **argv)
             specs.push_back(findWorkload(workload));
     }
 
+    run_options.collectCounters = options.counters;
+
     runner::SweepOptions sweep_options;
     sweep_options.jobs = options.jobs;
     sweep_options.progress = !options.quiet;
     runner::SweepRunner sweep(config, sweep_options);
-    sweep.addGrid(specs, options.prefetchers, run_options,
-                  options.dest.empty() ? "" : ":" + options.dest);
+    const std::string variant =
+        options.dest.empty() ? "" : ":" + options.dest;
+    const bool single_cell =
+        specs.size() == 1 && options.prefetchers.size() == 1;
+    if (options.trace.empty()) {
+        sweep.addGrid(specs, options.prefetchers, run_options, variant);
+    } else {
+        // Tracing: each cell gets its own private file. A single cell
+        // writes exactly --trace FILE; multi-cell sweeps derive
+        // FILE.<workload>.<prefetcher><variant> per cell so parallel
+        // jobs never share a writer (the determinism contract).
+        for (const WorkloadSpec &spec : specs) {
+            for (const std::string &prefetcher : options.prefetchers) {
+                RunOptions cell = run_options;
+                cell.tracePath =
+                    single_cell ? options.trace
+                                : runner::cellTracePath(options.trace,
+                                                        spec.name,
+                                                        prefetcher,
+                                                        variant);
+                sweep.addCell(spec, prefetcher, std::move(cell),
+                              variant);
+            }
+        }
+    }
 
     const runner::SweepRunner::Report report = sweep.run();
 
@@ -219,6 +275,15 @@ main(int argc, char **argv)
                           fmt("%.3f", row.trafficNormalized)});
         }
         table.print();
+        if (options.counters) {
+            for (const runner::MetricsRow &row : report.store.rows()) {
+                std::printf("\n# counters %s/%s%s\n",
+                            row.workload.c_str(),
+                            row.prefetcher.c_str(),
+                            row.variant.c_str());
+                std::fputs(row.counters.toText().c_str(), stdout);
+            }
+        }
     }
 
     if (!options.json.empty()) {
