@@ -1,0 +1,162 @@
+#include "check/campaign.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "check/shrink.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace dol::check
+{
+
+namespace
+{
+
+/** Run one case; returns the failure record, shrunk, or nullopt. */
+std::optional<CaseFailure>
+runCase(std::uint64_t index, const CampaignOptions &options,
+        std::vector<TraceRecord> *shrunk_out)
+{
+    const std::uint64_t seed = caseSeed(options.seed, index);
+    CheckConfig config;
+    config.params = makeFuzzParams(seed);
+    config.mutation = options.mutation;
+    std::vector<TraceRecord> trace =
+        makeFuzzTrace(seed, config.params);
+
+    const DiffResult diff = checkTrace(trace, config);
+    if (diff.ok)
+        return std::nullopt;
+
+    CaseFailure failure;
+    failure.index = index;
+    failure.caseSeed = seed;
+    failure.diff = diff;
+    failure.originalRecords = trace.size();
+
+    std::vector<TraceRecord> minimal = trace;
+    if (options.shrink) {
+        const ShrinkResult shrunk = shrinkTrace(
+            std::move(trace),
+            [&](const std::vector<TraceRecord> &candidate) {
+                return !checkTrace(candidate, config).ok;
+            },
+            options.maxShrinkEvaluations);
+        minimal = shrunk.records;
+        // Report the diff of the minimal trace, not the original: the
+        // shrinker may have walked the failure to an earlier access.
+        failure.diff = checkTrace(minimal, config);
+    }
+    failure.shrunkRecords = minimal.size();
+    if (shrunk_out)
+        *shrunk_out = std::move(minimal);
+    return failure;
+}
+
+void
+writeReproducer(const CampaignOptions &options, CaseFailure &failure,
+                const std::vector<TraceRecord> &records)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.reproDir, ec);
+
+    const std::string stem = options.reproDir + "/repro_case" +
+                             std::to_string(failure.index);
+    const std::string trace_path = stem + ".trc";
+    if (!writeTraceRecords(trace_path, records))
+        return;
+    failure.reproPath = trace_path;
+
+    std::ofstream sidecar(stem + ".txt");
+    sidecar << "dol differential fuzz reproducer\n"
+            << "campaign seed:   " << options.seed << "\n"
+            << "case index:      " << failure.index << "\n"
+            << "case seed:       " << failure.caseSeed << "\n"
+            << "mutation:        " << mutationName(options.mutation)
+            << "\n"
+            << "diff:            " << failure.diff.summary() << "\n"
+            << "original/shrunk: " << failure.originalRecords << "/"
+            << failure.shrunkRecords << " records\n"
+            << "replay:          dolsim --fuzz-replay " << trace_path
+            << " --fuzz-case-seed " << failure.caseSeed << "\n";
+}
+
+} // namespace
+
+std::string
+CampaignReport::summaryText() const
+{
+    std::string text = "fuzz campaign: " + std::to_string(cases) +
+                       " cases, seed " + std::to_string(seed) + ", " +
+                       std::to_string(failures.size()) + " failure" +
+                       (failures.size() == 1 ? "" : "s") + "\n";
+    for (const CaseFailure &failure : failures) {
+        text += "  case " + std::to_string(failure.index) + " (seed " +
+                std::to_string(failure.caseSeed) + "): " +
+                failure.diff.summary() + " [" +
+                std::to_string(failure.originalRecords) + " -> " +
+                std::to_string(failure.shrunkRecords) + " records";
+        if (!failure.reproPath.empty())
+            text += ", " + failure.reproPath;
+        text += "]\n";
+    }
+    return text;
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &options)
+{
+    CampaignReport report;
+    report.cases = options.cases;
+    report.seed = options.seed;
+
+    // One pre-sized slot per case: workers never contend and the
+    // report order is independent of scheduling.
+    std::vector<std::optional<CaseFailure>> slots(options.cases);
+    {
+        const unsigned jobs = options.jobs ? options.jobs
+                                           : runner::hardwareJobs();
+        runner::ThreadPool pool(jobs);
+        for (std::uint64_t i = 0; i < options.cases; ++i) {
+            pool.submit([i, &options, &slots] {
+                std::vector<TraceRecord> shrunk;
+                auto failure = runCase(i, options, &shrunk);
+                if (failure) {
+                    writeReproducer(options, *failure, shrunk);
+                    slots[i] = std::move(*failure);
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    for (auto &slot : slots) {
+        if (slot)
+            report.failures.push_back(std::move(*slot));
+    }
+    return report;
+}
+
+MutationProbe
+probeMutation(std::uint64_t campaign_seed, std::uint64_t max_cases,
+              Mutation mutation, std::size_t max_shrink_evaluations)
+{
+    MutationProbe probe;
+    CampaignOptions options;
+    options.seed = campaign_seed;
+    options.mutation = mutation;
+    options.maxShrinkEvaluations = max_shrink_evaluations;
+    for (std::uint64_t i = 0; i < max_cases; ++i) {
+        auto failure = runCase(i, options, &probe.shrunk);
+        if (failure) {
+            probe.found = true;
+            probe.failure = std::move(*failure);
+            return probe;
+        }
+    }
+    return probe;
+}
+
+} // namespace dol::check

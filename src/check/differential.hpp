@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The differential harness: production vs. reference, per access.
+ *
+ * One fuzz case runs three checks over the same seeded trace:
+ *
+ *  1. Standalone cache differential — the production Cache and the
+ *     naive ReferenceCache execute an identical find/touch/insert/
+ *     invalidate stream derived from the trace; every hit verdict,
+ *     line-metadata read, and eviction victim is diffed.
+ *
+ *  2. Simulator-coupled differential — the full production pipeline
+ *     (TPC composite + two next-line extras) runs the trace while
+ *     ReferenceT2 and ReferenceCoordinator consume the identical
+ *     access stream through Simulator::setAccessObserver. Per access
+ *     the harness diffs: T2 per-instruction state, T2's attempted
+ *     prefetch sequence (paired positionally against the emission
+ *     records from PrefetchEmitter::setEmitHook, resource verdicts
+ *     treated as environment), coordinator ownership, the
+ *     instruction->extra binding, and emission attribution (C1 and
+ *     the extras may only emit on accesses routed to them).
+ *
+ *  3. Determinism — the simulator-coupled run repeats from scratch
+ *     and the end-of-run counter registry (PR-2's observability
+ *     substrate) must match byte for byte.
+ *
+ * The first divergence stops the case and is reported with its access
+ * index, which is what the shrinker minimises against.
+ */
+
+#ifndef DOL_CHECK_DIFFERENTIAL_HPP
+#define DOL_CHECK_DIFFERENTIAL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fuzz_workload.hpp"
+#include "check/mutation.hpp"
+
+namespace dol::check
+{
+
+struct DiffResult
+{
+    bool ok = true;
+    /** Which check diverged: cache / t2 / coordinator / determinism /
+     *  precondition. */
+    std::string check;
+    /** Index of the diverging access (or cache op) in the trace. */
+    std::uint64_t index = 0;
+    std::string message;
+
+    std::string summary() const;
+};
+
+struct CheckConfig
+{
+    FuzzParams params{};
+    Mutation mutation = Mutation::kNone;
+    /** Run the double-execution byte-determinism check. */
+    bool determinism = true;
+};
+
+/** Run every differential check over @p records. */
+DiffResult checkTrace(const std::vector<TraceRecord> &records,
+                      const CheckConfig &config);
+
+/** Convenience: generate and check one fuzz case. */
+DiffResult checkCase(std::uint64_t case_seed,
+                     Mutation mutation = Mutation::kNone);
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_DIFFERENTIAL_HPP

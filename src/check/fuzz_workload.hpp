@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Seeded random workload generation for the differential checker.
+ *
+ * A fuzz case is a pure function of one 64-bit case seed: the seed
+ * fixes both the component parameters under test (makeFuzzParams) and
+ * the synthetic trace (makeFuzzTrace). Traces interleave the access
+ * patterns the paper's components specialise in — constant strides
+ * with run lengths straddling the confirmation thresholds, pointer
+ * chains with coherent in-memory values, dense and sparse regions
+ * around C1's density cut, prefetch-hit "zigzag" pairs that exercise
+ * coordinator rebinding, and plain noise — as straight-line code.
+ *
+ * Domain restrictions (what keeps the reference models simple):
+ *  - no control instructions: mPC == PC, T2's loop detector stays
+ *    idle, distance is always the default;
+ *  - at most ~16 distinct memory PCs: far below the SIT / I-cache
+ *    state-table capacities, so production never evicts;
+ *  - one value per chase/pointer address: replaying a trace's
+ *    (addr, value) pairs into a MemoryImage reconstructs the exact
+ *    heap P1 chases, so shrunk reproducers replay bit-identically.
+ */
+
+#ifndef DOL_CHECK_FUZZ_WORKLOAD_HPP
+#define DOL_CHECK_FUZZ_WORKLOAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/t2.hpp"
+#include "workloads/trace_file.hpp"
+
+namespace dol::check
+{
+
+/** SplitMix64: the campaign's per-case seed derivation. */
+std::uint64_t splitMix(std::uint64_t x);
+
+/** Seed of case @p index within a campaign. */
+std::uint64_t caseSeed(std::uint64_t campaign_seed, std::uint64_t index);
+
+/** Everything a fuzz case randomises besides the trace itself. */
+struct FuzzParams
+{
+    T2Prefetcher::Params t2{};
+    bool enableP1 = true;
+    bool enableC1 = true;
+    /** Degrees of the two next-line extra components. */
+    unsigned extraDegree1 = 1;
+    unsigned extraDegree2 = 2;
+    /** Seed of the standalone cache differential's op stream. */
+    std::uint64_t opSeed = 1;
+    /** Geometry of the standalone cache differential (16 sets). */
+    std::uint32_t cacheSizeBytes = 4096;
+    std::uint32_t cacheAssoc = 4;
+};
+
+FuzzParams makeFuzzParams(std::uint64_t case_seed);
+
+std::vector<TraceRecord> makeFuzzTrace(std::uint64_t case_seed,
+                                       const FuzzParams &params);
+
+/** A Kernel replaying an in-memory record vector (non-looping). */
+class RecordKernel : public Kernel
+{
+  public:
+    RecordKernel(MemoryImage &memory,
+                 const std::vector<TraceRecord> &records)
+        : Kernel("fuzz", memory), _records(&records)
+    {}
+
+    void
+    reset() override
+    {
+        clearQueue();
+        _position = 0;
+    }
+
+  protected:
+    bool
+    generate() override
+    {
+        if (_position >= _records->size())
+            return false;
+        push((*_records)[_position++].unpack());
+        return true;
+    }
+
+  private:
+    const std::vector<TraceRecord> *_records;
+    std::size_t _position = 0;
+};
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_FUZZ_WORKLOAD_HPP

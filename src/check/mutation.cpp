@@ -1,0 +1,36 @@
+#include "check/mutation.hpp"
+
+namespace dol::check
+{
+
+const char *
+mutationName(Mutation mutation)
+{
+    switch (mutation) {
+      case Mutation::kNone:
+        return "none";
+      case Mutation::kLruVictimOffByOne:
+        return "lru";
+      case Mutation::kDropRebinding:
+        return "rebind";
+      case Mutation::kT2ConfirmThreshold:
+        return "t2confirm";
+    }
+    return "none";
+}
+
+std::optional<Mutation>
+mutationFromName(const std::string &name)
+{
+    if (name.empty() || name == "none")
+        return Mutation::kNone;
+    if (name == "lru")
+        return Mutation::kLruVictimOffByOne;
+    if (name == "rebind")
+        return Mutation::kDropRebinding;
+    if (name == "t2confirm")
+        return Mutation::kT2ConfirmThreshold;
+    return std::nullopt;
+}
+
+} // namespace dol::check

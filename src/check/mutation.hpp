@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Self-test mutations for the differential checker.
+ *
+ * Each mutation plants one deliberate, paper-relevant bug in a
+ * *reference* model. Running a fuzz campaign with a mutation enabled
+ * must surface a production-vs-reference diff quickly (the checker's
+ * detection power is symmetric: a reference that disagrees with a
+ * buggy production model for some trace disagrees equally when the
+ * bug is planted on its own side). This lets CI prove the checker
+ * actually catches the bug classes it claims to, without keeping a
+ * deliberately broken production build around.
+ */
+
+#ifndef DOL_CHECK_MUTATION_HPP
+#define DOL_CHECK_MUTATION_HPP
+
+#include <optional>
+#include <string>
+
+namespace dol::check
+{
+
+enum class Mutation
+{
+    kNone = 0,
+    /** Reference cache evicts the 2nd-least-recently-used way. */
+    kLruVictimOffByOne,
+    /** Reference coordinator never rebinds on a prefetch hit. */
+    kDropRebinding,
+    /** Reference T2 confirms a stream one access later. */
+    kT2ConfirmThreshold,
+};
+
+const char *mutationName(Mutation mutation);
+
+/** Parse a --fuzz-mutate argument; nullopt for unknown names. */
+std::optional<Mutation> mutationFromName(const std::string &name);
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_MUTATION_HPP

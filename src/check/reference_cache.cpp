@@ -1,0 +1,102 @@
+#include "check/reference_cache.hpp"
+
+#include <algorithm>
+
+namespace dol::check
+{
+
+ReferenceCache::ReferenceCache(std::uint32_t size_bytes,
+                               std::uint32_t assoc, Mutation mutation)
+    : _numSets(size_bytes / (kLineBytes * assoc)), _assoc(assoc),
+      _mutation(mutation)
+{}
+
+std::uint32_t
+ReferenceCache::setOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineNum(line_addr) &
+                                      (_numSets - 1));
+}
+
+const ReferenceCache::Line *
+ReferenceCache::find(Addr line_addr) const
+{
+    for (const Line &line : _lines) {
+        if (line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+ReferenceCache::Line *
+ReferenceCache::find(Addr line_addr)
+{
+    for (Line &line : _lines) {
+        if (line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+void
+ReferenceCache::touch(Addr line_addr)
+{
+    if (Line *line = find(line_addr))
+        line->seq = ++_seq;
+}
+
+std::optional<Cache::Victim>
+ReferenceCache::insert(Addr line_addr, bool prefetched, ComponentId comp,
+                       bool dirty)
+{
+    const std::uint32_t set = setOf(line_addr);
+    std::vector<std::size_t> resident;
+    for (std::size_t i = 0; i < _lines.size(); ++i) {
+        if (setOf(_lines[i].lineAddr) == set)
+            resident.push_back(i);
+    }
+
+    std::optional<Cache::Victim> victim;
+    if (resident.size() >= _assoc) {
+        // LRU-order the set's resident lines by recency sequence.
+        std::sort(resident.begin(), resident.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return _lines[a].seq < _lines[b].seq;
+                  });
+        std::size_t pick = resident.front();
+        if (_mutation == Mutation::kLruVictimOffByOne &&
+            resident.size() > 1) {
+            pick = resident[1];
+        }
+        const Line &evicted = _lines[pick];
+        victim = Cache::Victim{evicted.lineAddr, evicted.dirty,
+                               evicted.prefetched, evicted.used,
+                               evicted.comp};
+        _lines.erase(_lines.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    }
+
+    Line line;
+    line.lineAddr = line_addr;
+    line.prefetched = prefetched;
+    line.comp = comp;
+    line.dirty = dirty;
+    line.seq = ++_seq;
+    _lines.push_back(line);
+    return victim;
+}
+
+bool
+ReferenceCache::invalidate(Addr line_addr)
+{
+    for (std::size_t i = 0; i < _lines.size(); ++i) {
+        if (_lines[i].lineAddr == line_addr) {
+            _lines.erase(_lines.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace dol::check

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Naive reference model of the set-associative LRU cache.
+ *
+ * The production Cache (src/mem/cache.hpp) packs lines into a flat
+ * way-array per set and tracks recency with stamped counters. The
+ * reference keeps one unordered list of valid lines and answers every
+ * question by scanning it: membership is a full scan, the victim of an
+ * insertion is the matching-set line with the smallest sequence
+ * number. Slow and obviously correct — the differential harness
+ * (differential.cpp) drives both models with the same operation
+ * stream and diffs every observable.
+ */
+
+#ifndef DOL_CHECK_REFERENCE_CACHE_HPP
+#define DOL_CHECK_REFERENCE_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "check/mutation.hpp"
+#include "mem/cache.hpp"
+
+namespace dol::check
+{
+
+class ReferenceCache
+{
+  public:
+    struct Line
+    {
+        Addr lineAddr = kNoAddr;
+        bool dirty = false;
+        bool prefetched = false;
+        bool used = false;
+        ComponentId comp = kNoComponent;
+        /** Global recency sequence; larger = more recently touched. */
+        std::uint64_t seq = 0;
+    };
+
+    ReferenceCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                   Mutation mutation = Mutation::kNone);
+
+    const Line *find(Addr line_addr) const;
+    Line *find(Addr line_addr);
+
+    /** Promote to most-recently-used. No-op when absent. */
+    void touch(Addr line_addr);
+
+    /**
+     * Insert a line that is not currently present, evicting the
+     * least-recently-used line of the same set when the set is full.
+     */
+    std::optional<Cache::Victim> insert(Addr line_addr, bool prefetched,
+                                        ComponentId comp, bool dirty);
+
+    /** Remove a line if present. @return true when one was removed. */
+    bool invalidate(Addr line_addr);
+
+    std::uint32_t setOf(Addr line_addr) const;
+    std::uint32_t numSets() const { return _numSets; }
+    std::uint32_t assoc() const { return _assoc; }
+
+  private:
+    std::vector<Line> _lines; ///< every valid line, in no order
+    std::uint64_t _seq = 0;
+    std::uint32_t _numSets;
+    std::uint32_t _assoc;
+    Mutation _mutation;
+};
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_REFERENCE_CACHE_HPP

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reference model of the composite coordinator's routing policy
+ * (paper sections IV-D/IV-E): fixed T2 -> P1 -> C1 claim priority,
+ * round-robin binding of unclaimed instructions to extra components,
+ * and rebinding to whichever extra's prefetched line the instruction
+ * later hits.
+ *
+ * Claim signals are inputs: the harness derives the T2 claim from the
+ * independent ReferenceT2 and reads the P1/C1 claims from production
+ * (those components' internal pattern detectors are separately
+ * tested; here they are environment). What the reference re-derives
+ * — and the differential diffs — is the *routing* those claims
+ * produce: ownership, the binding table, and which extra may train.
+ */
+
+#ifndef DOL_CHECK_REFERENCE_COORDINATOR_HPP
+#define DOL_CHECK_REFERENCE_COORDINATOR_HPP
+
+#include <unordered_map>
+
+#include "check/mutation.hpp"
+#include "core/composite.hpp"
+
+namespace dol::check
+{
+
+class ReferenceCoordinator
+{
+  public:
+    ReferenceCoordinator(std::size_t num_extras, Mutation mutation)
+        : _numExtras(num_extras), _mutation(mutation)
+    {}
+
+    /** Post-train claim signals for one access, in priority order. */
+    struct Claims
+    {
+        bool t2 = false;
+        bool p1 = false;
+        bool c1 = false;
+    };
+
+    /**
+     * Route one trained access.
+     *
+     * @param hit_extra_idx index of the extra whose prefetched line
+     *        this access hit in L1, or -1
+     * @return the extra index whose training the coordinator allows
+     *         for this access, or -1 when the access was claimed
+     */
+    int
+    onAccess(const AccessInfo &access, const Claims &claims,
+             int hit_extra_idx)
+    {
+        if (claims.t2 || claims.p1 || claims.c1 || _numExtras == 0)
+            return -1;
+
+        if (access.l1HitPrefetched && hit_extra_idx >= 0 &&
+            _mutation != Mutation::kDropRebinding) {
+            _bindings[access.mPc] = static_cast<unsigned>(hit_extra_idx);
+        }
+        if (_bindings.size() > (1u << 16))
+            _bindings.clear();
+
+        auto it = _bindings.find(access.mPc);
+        if (it == _bindings.end()) {
+            it = _bindings
+                     .emplace(access.mPc,
+                              _nextBinding++ %
+                                  static_cast<unsigned>(_numExtras))
+                     .first;
+        }
+        return static_cast<int>(it->second);
+    }
+
+    CompositePrefetcher::Owner
+    ownerOf(Pc m_pc, const Claims &claims) const
+    {
+        if (claims.t2)
+            return CompositePrefetcher::Owner::kT2;
+        if (claims.p1)
+            return CompositePrefetcher::Owner::kP1;
+        if (claims.c1)
+            return CompositePrefetcher::Owner::kC1;
+        if (_bindings.contains(m_pc))
+            return CompositePrefetcher::Owner::kExtra;
+        return CompositePrefetcher::Owner::kNone;
+    }
+
+    int
+    boundExtraOf(Pc m_pc) const
+    {
+        const auto it = _bindings.find(m_pc);
+        return it == _bindings.end() ? -1
+                                     : static_cast<int>(it->second);
+    }
+
+  private:
+    std::size_t _numExtras;
+    Mutation _mutation;
+    std::unordered_map<Pc, unsigned> _bindings;
+    unsigned _nextBinding = 0;
+};
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_REFERENCE_COORDINATOR_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reference model of the T2 stride prefetcher's training automaton
+ * (paper section IV-A), re-implemented from the textbook description
+ * rather than from src/core/t2.cpp.
+ *
+ * Deliberate simplifications versus production, all valid inside the
+ * fuzz domain (see fuzz_workload.hpp):
+ *  - per-instruction state and stride entries live in unbounded maps
+ *    keyed directly by mPC — the fuzz generator keeps the working set
+ *    far below the production SIT/state-table capacities, so the
+ *    production structures never evict either;
+ *  - the loop-timed distance formula is not modelled — fuzz traces
+ *    contain no control instructions, so production T2 always falls
+ *    back to the default distance (the formula itself is covered by
+ *    dedicated unit tests in tests/test_t2.cpp);
+ *  - whether an entry is a confirmed strided-pointer producer is P1's
+ *    decision, queried from the environment instead of modelled.
+ *
+ * Prefetch resource verdicts (MSHR/queue drops) are environment
+ * input: the reference asks the Env for each attempted emission's
+ * outcome, and the differential harness answers from the production
+ * emission record, diffing target addresses positionally.
+ */
+
+#ifndef DOL_CHECK_REFERENCE_T2_HPP
+#define DOL_CHECK_REFERENCE_T2_HPP
+
+#include <functional>
+#include <unordered_map>
+
+#include "check/mutation.hpp"
+#include "core/t2.hpp"
+
+namespace dol::check
+{
+
+class ReferenceT2
+{
+  public:
+    struct Env
+    {
+        /** Outcome of the next attempted emission at @p target. */
+        std::function<PrefetchOutcome(Addr target)> emit;
+        /** Has P1 confirmed this mPC as a pointer producer? */
+        std::function<bool(Pc m_pc)> ptrProducer;
+    };
+
+    ReferenceT2(const T2Prefetcher::Params &params, Mutation mutation);
+
+    void train(const AccessInfo &access, const Env &env);
+
+    InstrState stateOf(Pc m_pc) const;
+
+    /** Does this mPC's post-train state claim the instruction? */
+    bool
+    claims(Pc m_pc) const
+    {
+        const InstrState state = stateOf(m_pc);
+        return state == InstrState::kStrided ||
+               state == InstrState::kObservation;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr lastAddr = 0;
+        std::int64_t delta = 0;
+        unsigned sameDeltaCount = 0;
+        unsigned diffDeltaCount = 0;
+        Addr lastIssuedLine = kNoAddr;
+    };
+
+    unsigned confirmThreshold() const;
+    void issueStream(Entry &entry, const AccessInfo &access,
+                     unsigned dist, const Env &env);
+
+    T2Prefetcher::Params _params;
+    Mutation _mutation;
+    std::unordered_map<Pc, InstrState> _states;
+    std::unordered_map<Pc, Entry> _entries;
+};
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_REFERENCE_T2_HPP

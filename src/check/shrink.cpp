@@ -1,0 +1,56 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+namespace dol::check
+{
+
+ShrinkResult
+shrinkTrace(std::vector<TraceRecord> failing,
+            const ShrinkPredicate &still_fails,
+            std::size_t max_evaluations)
+{
+    ShrinkResult result;
+
+    std::size_t chunk = std::max<std::size_t>(failing.size() / 2, 1);
+    while (chunk >= 1) {
+        bool removed_any = false;
+        std::size_t start = 0;
+        while (start < failing.size()) {
+            if (result.evaluations >= max_evaluations) {
+                result.converged = false;
+                result.records = std::move(failing);
+                return result;
+            }
+            const std::size_t end =
+                std::min(start + chunk, failing.size());
+            std::vector<TraceRecord> candidate;
+            candidate.reserve(failing.size() - (end - start));
+            candidate.insert(candidate.end(), failing.begin(),
+                             failing.begin() +
+                                 static_cast<std::ptrdiff_t>(start));
+            candidate.insert(candidate.end(),
+                             failing.begin() +
+                                 static_cast<std::ptrdiff_t>(end),
+                             failing.end());
+            ++result.evaluations;
+            if (!candidate.empty() && still_fails(candidate)) {
+                // Keep the removal; retry the same offset, which now
+                // holds the next chunk.
+                failing = std::move(candidate);
+                removed_any = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1 && !removed_any)
+            break;
+        if (!removed_any)
+            chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+
+    result.records = std::move(failing);
+    return result;
+}
+
+} // namespace dol::check

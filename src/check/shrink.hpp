@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Delta-debugging trace shrinker (ddmin-style).
+ *
+ * Given a failing trace and a deterministic "does it still fail?"
+ * predicate, repeatedly try removing contiguous chunks — halving the
+ * chunk size from len/2 down to one record — keeping any removal that
+ * preserves the failure, until a fixed point. Fuzz params are held
+ * constant across evaluations (they derive from the case seed, not
+ * from the trace), so the minimal reproducer replays with the exact
+ * component configuration that failed.
+ */
+
+#ifndef DOL_CHECK_SHRINK_HPP
+#define DOL_CHECK_SHRINK_HPP
+
+#include <functional>
+#include <vector>
+
+#include "workloads/trace_file.hpp"
+
+namespace dol::check
+{
+
+/** @return true when the candidate trace still fails. */
+using ShrinkPredicate =
+    std::function<bool(const std::vector<TraceRecord> &)>;
+
+struct ShrinkResult
+{
+    std::vector<TraceRecord> records;
+    /** Predicate evaluations spent. */
+    std::size_t evaluations = 0;
+    /** False when the evaluation budget ran out mid-pass. */
+    bool converged = true;
+};
+
+/**
+ * Minimise @p failing against @p still_fails.
+ *
+ * @p max_evaluations bounds the work; the best shrink found so far is
+ * returned even when the budget runs out.
+ */
+ShrinkResult shrinkTrace(std::vector<TraceRecord> failing,
+                         const ShrinkPredicate &still_fails,
+                         std::size_t max_evaluations = 2000);
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_SHRINK_HPP

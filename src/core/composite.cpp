@@ -107,6 +107,13 @@ CompositePrefetcher::ownerOf(Pc m_pc) const
 }
 
 int
+CompositePrefetcher::boundExtraOf(Pc m_pc) const
+{
+    const auto it = _bindings.find(m_pc);
+    return it == _bindings.end() ? -1 : static_cast<int>(it->second);
+}
+
+int
 CompositePrefetcher::extraIndexOfComponent(ComponentId comp) const
 {
     for (std::size_t i = 0; i < _extras.size(); ++i) {

@@ -91,6 +91,12 @@ class CompositePrefetcher : public Prefetcher
     enum class Owner { kNone, kT2, kP1, kC1, kExtra };
     Owner ownerOf(Pc m_pc) const;
 
+    /**
+     * Index of the extra component this instruction is bound to, or
+     * -1 when unbound (tests and the differential checker).
+     */
+    int boundExtraOf(Pc m_pc) const;
+
     /** Is extra component @p index currently suspended? (tests) */
     bool extraSuspended(std::size_t index) const;
 

@@ -78,12 +78,30 @@ class PrefetchEmitter
     using DestOracle = std::function<unsigned(Addr, unsigned)>;
     void setDestOracle(DestOracle oracle) { _oracle = std::move(oracle); }
 
+    /**
+     * One attempted prefetch emission, as seen by the hook: the target
+     * address, resolved destination level, issuing component, request
+     * cycle, and the memory system's verdict (issued / filtered /
+     * dropped). The differential checker (src/check/) compares this
+     * stream against the reference models' predictions.
+     */
+    struct EmitRecord
+    {
+        Addr addr = 0;
+        unsigned level = kL1;
+        ComponentId comp = kNoComponent;
+        Cycle when = 0;
+        PrefetchOutcome outcome = PrefetchOutcome::kIssued;
+    };
+
+    /** Observe every attempted emission (nullptr = off, the default). */
+    using EmitHook = std::function<void(const EmitRecord &)>;
+    void setEmitHook(EmitHook hook) { _hook = std::move(hook); }
+
     PrefetchOutcome
     emit(Addr addr, unsigned dest_level = kL1, std::uint8_t priority = 1)
     {
-        return account(_mem->prefetch(addr,
-                                      resolveDest(addr, dest_level),
-                                      _comp, _when, priority));
+        return emitAt(addr, _when, dest_level, priority);
     }
 
     /** Issue at an explicit time (P1's chained fills). */
@@ -91,9 +109,12 @@ class PrefetchEmitter
     emitAt(Addr addr, Cycle when, unsigned dest_level = kL1,
            std::uint8_t priority = 1)
     {
-        return account(_mem->prefetch(addr,
-                                      resolveDest(addr, dest_level),
-                                      _comp, when, priority));
+        const unsigned level = resolveDest(addr, dest_level);
+        const PrefetchOutcome outcome = account(
+            _mem->prefetch(addr, level, _comp, when, priority));
+        if (_hook)
+            _hook({addr, level, _comp, when, outcome});
+        return outcome;
     }
 
     ComponentId component() const { return _comp; }
@@ -125,6 +146,7 @@ class PrefetchEmitter
     Cycle _when = 0;
     std::optional<unsigned> _force;
     DestOracle _oracle;
+    EmitHook _hook;
     std::uint64_t _issuedCount = 0;
 };
 

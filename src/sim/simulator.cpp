@@ -77,6 +77,8 @@ Simulator::step()
 
             _emitter.setContext(_prefetcher->id(), retire.issue);
             _prefetcher->train(access, _emitter);
+            if (_accessObserver)
+                _accessObserver(access);
         }
         drainFills();
     }

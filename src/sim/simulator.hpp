@@ -13,6 +13,7 @@
 #define DOL_SIM_SIMULATOR_HPP
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -91,6 +92,20 @@ class Simulator
     void setTraceContext(TraceContext *trace);
 
     /**
+     * Observe every demand access exactly as the prefetcher saw it,
+     * immediately after the prefetcher trained on it and before the
+     * queued prefetch fills drain. The differential checker
+     * (src/check/) feeds this stream to its reference models and
+     * compares post-train production state per access; the default
+     * (empty) observer costs one branch per memory access.
+     */
+    using AccessObserver = std::function<void(const AccessInfo &)>;
+    void setAccessObserver(AccessObserver observer)
+    {
+        _accessObserver = std::move(observer);
+    }
+
+    /**
      * Harvest end-of-run counters from every layer into @p registry:
      * component decision counters, per-level cache stats, per-component
      * prefetch outcomes (named), and core totals.
@@ -140,6 +155,7 @@ class Simulator
     ListenerChain _listeners;
 
     std::vector<std::string> _componentNames;
+    AccessObserver _accessObserver;
     std::uint64_t _instrs = 0;
 };
 

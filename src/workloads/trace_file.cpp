@@ -77,6 +77,57 @@ recordTrace(Kernel &kernel, const std::string &path,
     return written;
 }
 
+bool
+writeTraceRecords(const std::string &path,
+                  const std::vector<TraceRecord> &records)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return false;
+    TraceHeader header;
+    header.instructionCount = records.size();
+    bool ok = std::fwrite(&header, sizeof header, 1, file) == 1;
+    if (ok && !records.empty()) {
+        ok = std::fwrite(records.data(), sizeof(TraceRecord),
+                         records.size(), file) == records.size();
+    }
+    return std::fclose(file) == 0 && ok;
+}
+
+bool
+readTraceRecords(const std::string &path, std::vector<TraceRecord> &out,
+                 std::string *error)
+{
+    out.clear();
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        if (error)
+            *error = "cannot open trace file: " + path;
+        return false;
+    }
+    TraceHeader header;
+    const TraceHeader expected;
+    if (std::fread(&header, sizeof header, 1, file) != 1 ||
+        std::memcmp(header.magic, expected.magic,
+                    sizeof header.magic) != 0) {
+        std::fclose(file);
+        if (error)
+            *error = "not a dol trace file: " + path;
+        return false;
+    }
+    out.resize(header.instructionCount);
+    const std::size_t read = std::fread(out.data(), sizeof(TraceRecord),
+                                        out.size(), file);
+    std::fclose(file);
+    if (read != out.size()) {
+        if (error)
+            *error = "truncated trace file: " + path;
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
 TraceKernel::TraceKernel(MemoryImage &memory, const std::string &path,
                          bool loop)
     : Kernel("trace:" + path, memory), _loop(loop)

@@ -59,6 +59,21 @@ struct TraceHeader
 std::uint64_t recordTrace(Kernel &kernel, const std::string &path,
                           std::uint64_t max_instrs);
 
+/**
+ * Write @p records to @p path in the DOLTRC01 trace format (the
+ * shrinker's reproducer output). @return false on I/O error.
+ */
+bool writeTraceRecords(const std::string &path,
+                       const std::vector<TraceRecord> &records);
+
+/**
+ * Read every record of a DOLTRC01 trace file.
+ * @return false (with @p error set) on I/O or format problems.
+ */
+bool readTraceRecords(const std::string &path,
+                      std::vector<TraceRecord> &out,
+                      std::string *error = nullptr);
+
 /** A Kernel that replays a recorded trace (looping at the end). */
 class TraceKernel : public Kernel
 {

@@ -1,0 +1,47 @@
+# Fuzz-campaign regression check, run as a ctest via `cmake -P`.
+#
+# Replays a 100-case prefix of the nightly differential fuzz campaign
+# (seed 1) and requires (a) zero diffs and (b) byte-identical summary
+# output between --jobs 1 and --jobs 4. The checked-in baseline for
+# the full 1000-case campaign lives in golden/fuzz_campaign_seed1.txt
+# and is diffed by the nightly workflow; this prefix keeps the same
+# contract cheap enough for `ctest -L tier2` on a laptop.
+#
+# Usage:
+#   cmake -DDOLSIM=<path-to-dolsim> -DWORKDIR=<scratch-dir>
+#         -P fuzz_campaign_prefix.cmake
+
+foreach(required DOLSIM WORKDIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "fuzz_campaign_prefix: -D${required}= not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND "${DOLSIM}" --fuzz 100 --fuzz-seed 1
+                --fuzz-dir "${WORKDIR}/repro-j${jobs}" --jobs ${jobs}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "fuzz_campaign_prefix: campaign found diffs "
+                "(--jobs ${jobs}, exit ${rc}):\n${out}")
+    endif()
+    file(WRITE "${WORKDIR}/summary-j${jobs}.txt" "${out}")
+endforeach()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORKDIR}/summary-j1.txt" "${WORKDIR}/summary-j4.txt"
+    RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+    message(FATAL_ERROR
+            "fuzz_campaign_prefix: summary differs between "
+            "--jobs 1 and --jobs 4")
+endif()
+
+message(STATUS "fuzz_campaign_prefix: 100 cases clean, deterministic")

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/composite.hpp"
 #include "common/rng.hpp"
 #include "core/registry.hpp"
@@ -153,6 +156,80 @@ TEST_F(CompositeTest, HitRebindsInstructionToOwningExtra)
         load(0x500, 0x7000000 + lineAddr(rng.below(1u << 24)));
     EXPECT_EQ(mem.stats().comp[4].issued, before4);
     EXPECT_GT(mem.stats().comp[5].issued, before5);
+}
+
+TEST_F(CompositeTest, ClaimedInstructionsNeverReachExtras)
+{
+    // The filtering half of the coordinator, in contrast with
+    // Shunt.ForwardsEverythingToAllComponents below: a T2-claimed
+    // strided instruction trains no extra and acquires no binding.
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.extras()[0]->setId(4);
+    tpc.extras()[1]->setId(5);
+
+    for (int i = 0; i <= 40; ++i)
+        load(0x100, 0x100000 + i * 64);
+    EXPECT_EQ(tpc.ownerOf(0x100), CompositePrefetcher::Owner::kT2);
+    EXPECT_EQ(tpc.boundExtraOf(0x100), -1);
+    EXPECT_GT(mem.stats().comp[1].issued, 0u) << "T2 covers the stream";
+    EXPECT_EQ(mem.stats().comp[4].issued, 0u);
+    EXPECT_EQ(mem.stats().comp[5].issued, 0u);
+}
+
+TEST_F(CompositeTest, RoundRobinBindingCoversAllExtras)
+{
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    ComponentId next = 4;
+    for (auto &extra : tpc.extras())
+        extra->setId(next++);
+
+    // Three interleaved random-pattern instructions: the round-robin
+    // counter must spread them across all three extras, one each.
+    Rng rng(5);
+    for (int i = 0; i < 120; ++i) {
+        load(0x600, 0x1000000 + lineAddr(rng.below(1u << 24)));
+        load(0x604, 0x3000000 + lineAddr(rng.below(1u << 24)));
+        load(0x608, 0x5000000 + lineAddr(rng.below(1u << 24)));
+    }
+    std::vector<int> bindings = {tpc.boundExtraOf(0x600),
+                                 tpc.boundExtraOf(0x604),
+                                 tpc.boundExtraOf(0x608)};
+    std::sort(bindings.begin(), bindings.end());
+    EXPECT_EQ(bindings, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(CompositeTest, PrefetchHitMovesTheBindingToTheOwningExtra)
+{
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.extras()[0]->setId(4);
+    tpc.extras()[1]->setId(5);
+
+    Rng rng(8);
+    for (int i = 0; i < 120; ++i)
+        load(0x500, 0x5000000 + lineAddr(rng.below(1u << 24)));
+    const int before = tpc.boundExtraOf(0x500);
+    ASSERT_GE(before, 0);
+    const int other = 1 - before;
+
+    // A demand hit on a line the *other* extra prefetched transfers
+    // the binding to it (paper section IV-E rebinding).
+    AccessInfo info;
+    info.pc = 0x500;
+    info.mPc = 0x500;
+    info.addr = 0x5000000;
+    info.isLoad = true;
+    info.l1Hit = true;
+    info.l1HitPrefetched = true;
+    info.l1HitComp = tpc.extras()[static_cast<std::size_t>(other)]->id();
+    info.when = ++now;
+    emitter.setContext(tpc.id(), now);
+    tpc.train(info, emitter);
+    EXPECT_EQ(tpc.boundExtraOf(0x500), other);
+    EXPECT_EQ(tpc.ownerOf(0x500), CompositePrefetcher::Owner::kExtra);
 }
 
 TEST_F(CompositeTest, DestinationOverridesApply)

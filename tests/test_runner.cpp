@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <iterator>
 #include <set>
 #include <stdexcept>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "runner/json_reader.hpp"
 #include "runner/json_writer.hpp"
 #include "runner/result_store.hpp"
@@ -322,6 +325,142 @@ TEST(ResultStore, JsonRoundTripPreservesRows)
     EXPECT_DOUBLE_EQ(timing->numberOr("jobs", 0), 8.0);
     ASSERT_NE(timing->find("wall_ms"), nullptr);
     EXPECT_EQ(timing->find("wall_ms")->array().size(), 1u);
+}
+
+/**
+ * Property test: a dol-sweep-v1 document survives the writer->reader
+ * round trip for randomized rows — awkward strings (quotes,
+ * backslashes, control characters forced through \uXXXX escapes, raw
+ * UTF-8), extreme doubles at the edges of the %.10g format, and rows
+ * with and without a counters object.
+ *
+ * The writer prints doubles with 10 significant digits, so numeric
+ * equality is up to that precision (exact when the value needs no
+ * more digits); strings and integers must round-trip exactly.
+ */
+TEST(ResultStore, JsonRoundTripPropertyRandomizedRows)
+{
+    const auto near = [](double a, double b) {
+        if (a == b)
+            return true;
+        const double scale = std::max(std::fabs(a), std::fabs(b));
+        return std::fabs(a - b) <= 5e-10 * scale;
+    };
+    const double palette[] = {0.0,     -0.0,   1.0 / 3.0,
+                              17.25,   -2.5e-9, 1e300,
+                              -1e300,  1e-300,  3.141592653589793,
+                              1234567.875};
+    const std::string names[] = {
+        "plain",        "with space",  "qu\"ote",
+        "back\\slash",  "new\nline",   "tab\tand\rcr",
+        "ctl\x01\x1f!", "unicode \xce\xbb\xe2\x88\x80"};
+
+    Rng rng(20260807);
+    const auto pick_double = [&] {
+        return palette[rng.below(std::size(palette))];
+    };
+    const auto pick_name = [&] {
+        return names[rng.below(std::size(names))];
+    };
+
+    for (int iteration = 0; iteration < 30; ++iteration) {
+        const std::size_t count = 1 + rng.below(4);
+        ResultStore store;
+        std::vector<MetricsRow> rows;
+        for (std::size_t i = 0; i < count; ++i) {
+            MetricsRow row;
+            row.workload = pick_name();
+            row.prefetcher = pick_name();
+            row.variant = rng.chance(0.3) ? "" : pick_name();
+            row.seed = rng.below(1ull << 50);
+            row.baselineIpc = pick_double();
+            row.ipc = pick_double();
+            row.speedup = pick_double();
+            row.baselineMpkiL1 = pick_double();
+            row.prefetchesIssued = rng.below(1ull << 53);
+            row.scope = pick_double();
+            row.effAccuracyL1 = pick_double();
+            row.effCoverageL1 = pick_double();
+            row.effAccuracyL2 = pick_double();
+            row.effCoverageL2 = pick_double();
+            row.trafficNormalized = pick_double();
+            row.instructions = rng.below(1ull << 53);
+            if (rng.chance(0.5)) {
+                const std::size_t counters = 1 + rng.below(3);
+                for (std::size_t c = 0; c < counters; ++c) {
+                    row.counters.set("scope" + std::to_string(c),
+                                     pick_name(),
+                                     rng.below(1ull << 53));
+                }
+            }
+            rows.push_back(row);
+            store.append(row);
+        }
+
+        SweepMeta meta;
+        meta.maxInstrs = rng.below(1ull << 40);
+        meta.jobs = 1 + static_cast<unsigned>(rng.below(16));
+
+        // Serialization is deterministic: two calls, identical bytes.
+        const std::string text = store.toJson(meta);
+        ASSERT_EQ(text, store.toJson(meta)) << "iteration " << iteration;
+
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(text, doc, &error))
+            << "iteration " << iteration << ": " << error;
+        EXPECT_EQ(doc.stringOr("schema", ""), "dol-sweep-v1");
+        const JsonValue *results = doc.find("results");
+        ASSERT_NE(results, nullptr);
+        ASSERT_EQ(results->array().size(), rows.size());
+
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const MetricsRow &row = rows[i];
+            const JsonValue &parsed = results->array()[i];
+            EXPECT_EQ(parsed.stringOr("workload", "?"), row.workload);
+            EXPECT_EQ(parsed.stringOr("prefetcher", "?"),
+                      row.prefetcher);
+            EXPECT_EQ(parsed.stringOr("variant", "?"), row.variant);
+            EXPECT_DOUBLE_EQ(parsed.numberOr("seed", -1),
+                             static_cast<double>(row.seed));
+
+            const JsonValue *metrics = parsed.find("metrics");
+            ASSERT_NE(metrics, nullptr);
+            EXPECT_TRUE(near(metrics->numberOr("ipc", -1), row.ipc));
+            EXPECT_TRUE(near(metrics->numberOr("baseline_ipc", -1),
+                             row.baselineIpc));
+            EXPECT_TRUE(near(metrics->numberOr("speedup", -1),
+                             row.speedup));
+            EXPECT_TRUE(near(metrics->numberOr("scope", -1),
+                             row.scope));
+            EXPECT_TRUE(near(metrics->numberOr("eff_accuracy_l1", -1),
+                             row.effAccuracyL1));
+            EXPECT_TRUE(near(metrics->numberOr("eff_coverage_l2", -1),
+                             row.effCoverageL2));
+            EXPECT_TRUE(near(metrics->numberOr("traffic_normalized", -1),
+                             row.trafficNormalized));
+            EXPECT_DOUBLE_EQ(
+                metrics->numberOr("prefetches_issued", -1),
+                static_cast<double>(row.prefetchesIssued));
+            EXPECT_DOUBLE_EQ(metrics->numberOr("instructions", -1),
+                             static_cast<double>(row.instructions));
+
+            // Counters: absent when empty, exact when present.
+            const JsonValue *counters = parsed.find("counters");
+            if (row.counters.empty()) {
+                EXPECT_EQ(counters, nullptr);
+            } else {
+                ASSERT_NE(counters, nullptr);
+                const auto expected = row.counters.sorted();
+                ASSERT_EQ(counters->object().size(), expected.size());
+                for (const auto &[name, value] : expected) {
+                    EXPECT_DOUBLE_EQ(counters->numberOr(name, -1),
+                                     static_cast<double>(value))
+                        << "counter " << name;
+                }
+            }
+        }
+    }
 }
 
 TEST(ResultStore, GridSlotsSerializeInOrder)

@@ -183,6 +183,76 @@ TEST_F(T2Test, DistanceGrowsWithAmatAndShrinksWithIterTime)
     EXPECT_LE(d, t2.params().maxDistance);
 }
 
+TEST_F(T2Test, DistanceFormulaTruncatesTowardZero)
+{
+    // Constant 10-cycle iterations pin t_iter at exactly 10; no
+    // demand access has touched AMAT, so it sits at its 60-cycle
+    // initial estimate: d = (60 + 128) / 10 = 18.8, truncated to 18.
+    RetireInfo retire;
+    for (int i = 0; i < 20; ++i) {
+        retire.finish = now += 10;
+        t2.onInstr(makeBranch(0x200, 0x180, true), retire, 0x200,
+                   emitter);
+    }
+    ASSERT_TRUE(t2.loops().inLoop());
+    ASSERT_DOUBLE_EQ(t2.loops().iterationTime(), 10.0);
+    ASSERT_DOUBLE_EQ(t2.amat(), 60.0);
+    ASSERT_EQ(t2.params().marginCycles, 128u);
+    EXPECT_EQ(t2.distance(), 18u);
+}
+
+TEST_F(T2Test, DegenerateIterationTimeFallsBackToDefault)
+{
+    // Every iteration "finishes" on the same cycle: the loop confirms
+    // but no time sample can accumulate, and the t_iter < 1 guard
+    // keeps the formula from dividing by (near) zero.
+    RetireInfo retire;
+    retire.finish = 50;
+    for (int i = 0; i < 20; ++i) {
+        t2.onInstr(makeBranch(0x200, 0x180, true), retire, 0x200,
+                   emitter);
+    }
+    ASSERT_TRUE(t2.loops().inLoop());
+    EXPECT_LT(t2.loops().iterationTime(), 1.0);
+    EXPECT_EQ(t2.distance(), t2.params().defaultDistance);
+}
+
+TEST_F(T2Test, DistanceClampsToOneForSlowLoops)
+{
+    // 100k-cycle iterations dwarf AMAT + margin: the raw formula
+    // yields ~0.002, clamped to the minimum useful distance of one.
+    RetireInfo retire;
+    for (int i = 0; i < 20; ++i) {
+        retire.finish = now += 100000;
+        t2.onInstr(makeBranch(0x200, 0x180, true), retire, 0x200,
+                   emitter);
+    }
+    ASSERT_TRUE(t2.loops().inLoop());
+    EXPECT_EQ(t2.distance(), 1u);
+}
+
+TEST(T2Distance, ClampsAtConfiguredTableMaximum)
+{
+    T2Prefetcher::Params params;
+    params.maxDistance = 8;
+    T2Prefetcher t2(params);
+    MemorySystem mem;
+    PrefetchEmitter emitter(mem);
+    t2.setId(1);
+    emitter.setContext(1, 0);
+
+    // Unclamped d = (60 + 128) / 10 = 18; the table limit wins.
+    RetireInfo retire;
+    Cycle now = 0;
+    for (int i = 0; i < 20; ++i) {
+        retire.finish = now += 10;
+        t2.onInstr(makeBranch(0x200, 0x180, true), retire, 0x200,
+                   emitter);
+    }
+    ASSERT_TRUE(t2.loops().inLoop());
+    EXPECT_EQ(t2.distance(), 8u);
+}
+
 /**
  * Property sweep: T2 confirms and covers streams of any stride, in
  * both directions, including sub-line and multi-line strides.

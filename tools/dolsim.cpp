@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "check/campaign.hpp"
 #include "common/log.hpp"
 #include "metrics/table.hpp"
 #include "runner/cli.hpp"
@@ -54,6 +55,15 @@ struct Options
     std::string trace; ///< write binary event trace(s) to this path
     std::string dumpTrace; ///< dump a binary event trace as text
     std::string dest; ///< "", "l1", "l2", "stratified"
+
+    // Differential fuzzing (src/check/).
+    std::uint64_t fuzz = 0; ///< campaign size; 0 = no campaign
+    std::uint64_t fuzzSeed = 1;
+    std::string fuzzDir = "fuzz-repro";
+    std::string fuzzMutate; ///< reference-model mutation (self-test)
+    std::string fuzzReplay; ///< shrunk reproducer trace to re-check
+    std::uint64_t fuzzCaseSeed = 0;
+    bool fuzzCaseSeedSet = false;
 };
 
 void
@@ -82,6 +92,18 @@ usage()
         "text and exit\n"
         "  --counters                 collect decision counters "
         "(JSON \"counters\")\n"
+        "  --fuzz N                   run an N-case differential "
+        "fuzz campaign\n"
+        "  --fuzz-seed S              campaign master seed "
+        "(default 1)\n"
+        "  --fuzz-dir DIR             shrunk-reproducer directory "
+        "(default fuzz-repro)\n"
+        "  --fuzz-mutate NAME         plant a reference-model bug "
+        "(lru|rebind|t2confirm)\n"
+        "  --fuzz-replay FILE         re-check a shrunk reproducer "
+        "(with --fuzz-case-seed)\n"
+        "  --fuzz-case-seed S         case seed from the "
+        "reproducer's sidecar\n"
         "  --csv                      machine-readable output\n"
         "  --quiet                    no progress line on stderr\n");
 }
@@ -146,6 +168,31 @@ parse(int argc, char **argv)
             options.trace = nextPath();
         } else if (arg == "--dump-trace") {
             options.dumpTrace = nextPath();
+        } else if (arg == "--fuzz") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 1, UINT64_MAX,
+                                      options.fuzz)) {
+                dol::fatal("bad --fuzz value: " + value);
+            }
+        } else if (arg == "--fuzz-seed") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 0, UINT64_MAX,
+                                      options.fuzzSeed)) {
+                dol::fatal("bad --fuzz-seed value: " + value);
+            }
+        } else if (arg == "--fuzz-dir") {
+            options.fuzzDir = nextPath();
+        } else if (arg == "--fuzz-mutate") {
+            options.fuzzMutate = next();
+        } else if (arg == "--fuzz-replay") {
+            options.fuzzReplay = nextPath();
+        } else if (arg == "--fuzz-case-seed") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 0, UINT64_MAX,
+                                      options.fuzzCaseSeed)) {
+                dol::fatal("bad --fuzz-case-seed value: " + value);
+            }
+            options.fuzzCaseSeedSet = true;
         } else if (arg == "--counters") {
             options.counters = true;
         } else if (arg == "--csv") {
@@ -188,6 +235,43 @@ main(int argc, char **argv)
             return 1;
         }
         return 0;
+    }
+
+    const auto mutation = check::mutationFromName(options.fuzzMutate);
+    if (!mutation)
+        fatal("bad --fuzz-mutate value: " + options.fuzzMutate);
+
+    if (!options.fuzzReplay.empty()) {
+        if (!options.fuzzCaseSeedSet) {
+            fatal("--fuzz-replay needs --fuzz-case-seed (see the "
+                  "reproducer's .txt sidecar)");
+        }
+        std::vector<TraceRecord> records;
+        std::string error;
+        if (!readTraceRecords(options.fuzzReplay, records, &error))
+            fatal(error);
+        check::CheckConfig check_config;
+        check_config.params =
+            check::makeFuzzParams(options.fuzzCaseSeed);
+        check_config.mutation = *mutation;
+        const check::DiffResult diff =
+            check::checkTrace(records, check_config);
+        std::printf("%s: %s\n", options.fuzzReplay.c_str(),
+                    diff.summary().c_str());
+        return diff.ok ? 0 : 1;
+    }
+
+    if (options.fuzz > 0) {
+        check::CampaignOptions campaign;
+        campaign.cases = options.fuzz;
+        campaign.seed = options.fuzzSeed;
+        campaign.jobs = options.jobs;
+        campaign.reproDir = options.fuzzDir;
+        campaign.mutation = *mutation;
+        const check::CampaignReport report =
+            check::runCampaign(campaign);
+        std::fputs(report.summaryText().c_str(), stdout);
+        return report.ok() ? 0 : 1;
     }
 
     SimConfig config;
