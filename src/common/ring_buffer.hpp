@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Growable power-of-two ring buffer (FIFO).
+ *
+ * Replaces `std::deque` on the simulator's fill and instruction
+ * queues: both are drained in order and stay small, which a deque
+ * punishes with 512-byte chunk allocations and per-push map
+ * bookkeeping. The ring grows geometrically on the rare overflow and
+ * never allocates otherwise; a high-water mark records the deepest
+ * the queue ever got (MSHR/backpressure observability).
+ */
+
+#ifndef DOL_COMMON_RING_BUFFER_HPP
+#define DOL_COMMON_RING_BUFFER_HPP
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dol
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t initial_capacity = 16)
+        : _slots(std::bit_ceil(initial_capacity))
+    {}
+
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** Deepest size() ever reached (not reset by clear()). */
+    std::size_t highWaterMark() const { return _highWater; }
+
+    T &front()
+    {
+        assert(_count > 0);
+        return _slots[_head];
+    }
+
+    const T &front() const
+    {
+        assert(_count > 0);
+        return _slots[_head];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (_count == _slots.size())
+            grow();
+        _slots[(_head + _count) & (_slots.size() - 1)] = value;
+        ++_count;
+        if (_count > _highWater)
+            _highWater = _count;
+    }
+
+    void
+    pop_front()
+    {
+        assert(_count > 0);
+        _slots[_head] = T{};
+        _head = (_head + 1) & (_slots.size() - 1);
+        --_count;
+    }
+
+    void
+    clear()
+    {
+        while (_count > 0)
+            pop_front();
+        _head = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(_slots.size() * 2);
+        for (std::size_t i = 0; i < _count; ++i)
+            bigger[i] = std::move(_slots[(_head + i) &
+                                         (_slots.size() - 1)]);
+        _slots = std::move(bigger);
+        _head = 0;
+    }
+
+    std::vector<T> _slots;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+    std::size_t _highWater = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_COMMON_RING_BUFFER_HPP

@@ -14,7 +14,12 @@ C1Prefetcher::C1Prefetcher(const Params &params)
     : Prefetcher("C1"), _params(params),
       _regions(params.regionEntries),
       _instrs(params.instructionEntries)
-{}
+{
+    // Both sets clear once they reach maxMarked, so sizing them for it
+    // up front makes them rehash-free for the whole run.
+    _marked.reserve(params.maxMarked);
+    _rejected.reserve(params.maxMarked);
+}
 
 bool
 C1Prefetcher::isMonitored(Pc m_pc) const
@@ -108,11 +113,12 @@ C1Prefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
 
     // Marked instructions trigger the region prefetch.
     if (_marked.contains(access.mPc)) {
-        auto [it, inserted] =
-            _lastPrefetchedRegion.try_emplace(access.mPc,
-                                              ~std::uint64_t{0});
-        if (inserted || it->second != region) {
-            it->second = region;
+        auto [last, inserted] =
+            _lastPrefetchedRegion.tryEmplace(access.mPc);
+        if (inserted)
+            *last = ~std::uint64_t{0};
+        if (inserted || *last != region) {
+            *last = region;
             const Addr base = region << kRegionBits;
             for (unsigned i = 0; i < kRegionLineCount; ++i) {
                 emitter.emit(base + (static_cast<Addr>(i) << kLineBits),

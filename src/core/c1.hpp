@@ -19,10 +19,9 @@
 #define DOL_CORE_C1_HPP
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "prefetch/prefetcher.hpp"
 
 namespace dol
@@ -90,12 +89,12 @@ class C1Prefetcher : public Prefetcher
     Params _params;
     std::vector<RegionEntry> _regions;
     std::vector<InstrEntry> _instrs;
-    std::unordered_set<Pc> _marked;
+    FlatHashSet<Pc> _marked;
     /** Instructions judged not-dense: C1 knows its boundary and does
      *  not re-monitor them, so the coordinator can route them on. */
-    std::unordered_set<Pc> _rejected;
+    FlatHashSet<Pc> _rejected;
     /** Region most recently blanket-prefetched per instruction. */
-    std::unordered_map<Pc, std::uint64_t> _lastPrefetchedRegion;
+    FlatHashMap<Pc, std::uint64_t> _lastPrefetchedRegion;
     std::uint64_t _stamp = 0;
     std::uint64_t _regionsPrefetched = 0;
 

@@ -109,8 +109,8 @@ CompositePrefetcher::ownerOf(Pc m_pc) const
 int
 CompositePrefetcher::boundExtraOf(Pc m_pc) const
 {
-    const auto it = _bindings.find(m_pc);
-    return it == _bindings.end() ? -1 : static_cast<int>(it->second);
+    const unsigned *binding = _bindings.find(m_pc);
+    return binding ? static_cast<int>(*binding) : -1;
 }
 
 int
@@ -142,16 +142,13 @@ CompositePrefetcher::routeToExtras(const AccessInfo &access,
     if (_bindings.size() > (1u << 16))
         _bindings.clear(); // finite coordinator state
 
-    auto it = _bindings.find(access.mPc);
-    if (it == _bindings.end()) {
-        it = _bindings
-                 .emplace(access.mPc,
-                          _nextBinding++ %
-                              static_cast<unsigned>(_extras.size()))
-                 .first;
+    auto [binding, inserted] = _bindings.tryEmplace(access.mPc);
+    if (inserted) {
+        *binding = _nextBinding++ %
+                   static_cast<unsigned>(_extras.size());
     }
 
-    const unsigned index = it->second;
+    const unsigned index = *binding;
     ExtraHealth &health = _health[index];
     if (access.l1HitPrefetched &&
         access.l1HitComp == _extras[index]->id()) {
@@ -217,9 +214,8 @@ CompositePrefetcher::train(const AccessInfo &access,
         // Ownership-transition events. The map is only populated while
         // tracing, so the untraced path never touches it.
         const auto owner = static_cast<std::uint8_t>(ownerOf(access.mPc));
-        const auto it = _lastOwner.find(access.mPc);
-        const std::uint8_t previous =
-            it == _lastOwner.end() ? 0 : it->second;
+        const std::uint8_t *last = _lastOwner.find(access.mPc);
+        const std::uint8_t previous = last ? *last : 0;
         if (owner != previous) {
             if (previous != 0) {
                 ++_coordUnclaims;

@@ -18,9 +18,9 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "core/c1.hpp"
 #include "core/p1.hpp"
 #include "core/t2.hpp"
@@ -126,7 +126,7 @@ class CompositePrefetcher : public Prefetcher
     std::vector<std::unique_ptr<Prefetcher>> _extras;
 
     /** Instruction -> extra-component binding (round-robin seeded). */
-    std::unordered_map<Pc, unsigned> _bindings;
+    FlatHashMap<Pc, unsigned> _bindings;
     unsigned _nextBinding = 0;
 
     /** Online accuracy bookkeeping for the adaptive coordinator. */
@@ -142,7 +142,7 @@ class CompositePrefetcher : public Prefetcher
     /** Last coordinator owner per instruction — maintained only while
      *  a trace context is attached (the map stays empty otherwise, so
      *  the untraced hot path pays nothing). */
-    std::unordered_map<Pc, std::uint8_t> _lastOwner;
+    FlatHashMap<Pc, std::uint8_t> _lastOwner;
     std::uint64_t _coordClaims = 0;
     std::uint64_t _coordUnclaims = 0;
 };

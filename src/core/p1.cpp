@@ -271,8 +271,8 @@ P1Prefetcher::confirmProducer(Pc producer_m_pc, Pc dependent_m_pc,
     record.producerMPc = producer_m_pc;
     record.dependentMPc = dependent_m_pc;
     record.ptrDelta = delta;
-    _producers[producer_m_pc] = record;
-    _dependents[dependent_m_pc] = producer_m_pc;
+    _producers.insert(producer_m_pc, record);
+    _dependents.insert(dependent_m_pc, producer_m_pc);
 }
 
 void
@@ -325,10 +325,10 @@ void
 P1Prefetcher::producerExecuted(const Instr &instr, Pc m_pc, Cycle when,
                                PrefetchEmitter &emitter)
 {
-    auto it = _producers.find(m_pc);
-    if (it == _producers.end())
+    ProducerRecord *found = _producers.find(m_pc);
+    if (!found)
         return;
-    ProducerRecord &record = it->second;
+    ProducerRecord &record = *found;
     record.lastValue = instr.value;
     record.hasLastValue = plausiblePointer(instr.value);
 
@@ -381,13 +381,13 @@ P1Prefetcher::producerExecuted(const Instr &instr, Pc m_pc, Cycle when,
 void
 P1Prefetcher::dependentExecuted(const Instr &instr, Pc m_pc, Cycle when)
 {
-    const auto dep = _dependents.find(m_pc);
-    if (dep == _dependents.end())
+    const Pc *dep = _dependents.find(m_pc);
+    if (!dep)
         return;
-    auto prod = _producers.find(dep->second);
-    if (prod == _producers.end())
+    ProducerRecord *prod = _producers.find(*dep);
+    if (!prod)
         return;
-    ProducerRecord &record = prod->second;
+    ProducerRecord &record = *prod;
     if (!record.hasLastValue)
         return;
     // The dependent executes right after its producer in the same
@@ -404,9 +404,10 @@ P1Prefetcher::dependentExecuted(const Instr &instr, Pc m_pc, Cycle when)
                         instr.addr, m_pc, id(), 0, 1);
         if (SitEntry *sit = _t2->sitLookup(record.producerMPc))
             sit->ptrProducer = false;
-        _scouted.erase(record.producerMPc);
+        const Pc producer_m_pc = record.producerMPc;
+        _scouted.erase(producer_m_pc);
         _dependents.erase(m_pc);
-        _producers.erase(prod);
+        _producers.erase(producer_m_pc);
     }
 }
 

@@ -29,10 +29,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "core/t2.hpp"
 #include "cpu/taint.hpp"
 #include "mem/memory_image.hpp"
@@ -192,11 +191,11 @@ class P1Prefetcher : public Prefetcher
     } _scout;
 
     /** Producers already scouted (pass or fail), to avoid thrash. */
-    std::unordered_set<Pc> _scouted;
+    FlatHashSet<Pc> _scouted;
     /** Confirmed array-of-pointer pairs, keyed by producer mPC. */
-    std::unordered_map<Pc, ProducerRecord> _producers;
+    FlatHashMap<Pc, ProducerRecord> _producers;
     /** Dependent mPCs P1 owns, mapped back to their producer. */
-    std::unordered_map<Pc, Pc> _dependents;
+    FlatHashMap<Pc, Pc> _dependents;
 };
 
 } // namespace dol

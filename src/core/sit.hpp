@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "common/types.hpp"
 
 namespace dol
@@ -52,34 +53,40 @@ struct SitEntry
     bool ptrProducer = false;
 };
 
-/** Small fully-associative LRU table of SitEntry. */
+/**
+ * Small fully-associative LRU table of SitEntry.
+ *
+ * The modelled hardware is a 32-entry CAM; the software layout is a
+ * flat mPC -> slot index so the per-access find() costs one hash
+ * probe instead of a scan over ~80-byte entries. Victim selection
+ * still walks the entry array (allocation is rare) in the exact
+ * order the CAM scan used, so eviction decisions are unchanged.
+ */
 class StrideIdentifierTable
 {
   public:
     explicit StrideIdentifierTable(unsigned entries = 32)
         : _entries(entries)
-    {}
+    {
+        _index.reserve(entries);
+    }
 
     SitEntry *
     find(Pc m_pc)
     {
-        for (SitEntry &entry : _entries) {
-            if (entry.valid && entry.mPc == m_pc) {
-                entry.lruStamp = ++_stamp;
-                return &entry;
-            }
-        }
-        return nullptr;
+        const std::uint32_t *slot = _index.find(m_pc);
+        if (!slot)
+            return nullptr;
+        SitEntry &entry = _entries[*slot];
+        entry.lruStamp = ++_stamp;
+        return &entry;
     }
 
     const SitEntry *
     find(Pc m_pc) const
     {
-        for (const SitEntry &entry : _entries) {
-            if (entry.valid && entry.mPc == m_pc)
-                return &entry;
-        }
-        return nullptr;
+        const std::uint32_t *slot = _index.find(m_pc);
+        return slot ? &_entries[*slot] : nullptr;
     }
 
     SitEntry &
@@ -94,19 +101,25 @@ class StrideIdentifierTable
             if (entry.lruStamp < victim->lruStamp)
                 victim = &entry;
         }
+        if (victim->valid)
+            _index.erase(victim->mPc);
         *victim = SitEntry{};
         victim->valid = true;
         victim->mPc = m_pc;
         victim->lastAddr = addr;
         victim->lruStamp = ++_stamp;
+        _index.insert(m_pc, static_cast<std::uint32_t>(
+                                victim - _entries.data()));
         return *victim;
     }
 
     void
     release(Pc m_pc)
     {
-        if (SitEntry *entry = find(m_pc))
+        if (SitEntry *entry = find(m_pc)) {
             entry->valid = false;
+            _index.erase(m_pc);
+        }
     }
 
     std::size_t size() const { return _entries.size(); }
@@ -121,6 +134,8 @@ class StrideIdentifierTable
 
   private:
     std::vector<SitEntry> _entries;
+    /** mPC -> index into _entries (layout acceleration only). */
+    FlatHashMap<Pc, std::uint32_t> _index;
     std::uint64_t _stamp = 0;
 };
 

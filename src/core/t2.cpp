@@ -12,13 +12,15 @@ T2Prefetcher::T2Prefetcher() : T2Prefetcher(Params()) {}
 T2Prefetcher::T2Prefetcher(const Params &params)
     : Prefetcher("T2"), _params(params),
       _loops(params.nlpctEntries), _sit(params.sitEntries)
-{}
+{
+    _states.reserve(params.maxStateEntries);
+}
 
 InstrState
 T2Prefetcher::stateOf(Pc m_pc) const
 {
-    const auto it = _states.find(m_pc);
-    return it == _states.end() ? InstrState::kUnknown : it->second;
+    const InstrState *state = _states.find(m_pc);
+    return state ? *state : InstrState::kUnknown;
 }
 
 void
@@ -43,7 +45,7 @@ T2Prefetcher::setState(Pc m_pc, InstrState state, Cycle when)
         // rare for our working sets.
         _states.clear();
     }
-    _states[m_pc] = state;
+    _states.insert(m_pc, state);
 }
 
 unsigned

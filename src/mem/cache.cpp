@@ -17,6 +17,8 @@ Cache::Cache(const Params &params)
     if (!std::has_single_bit(_numSets))
         fatal("cache geometry: number of sets must be a power of two");
     _lines.resize(lines);
+    _tags.assign(lines, kNoAddr);
+    _stamps.assign(lines, 0);
     _mshrs.resize(params.mshrs);
 }
 
@@ -31,10 +33,12 @@ Cache::Line *
 Cache::find(Addr line_addr)
 {
     const std::size_t base = setIndex(line_addr);
+    const Addr tag = lineAddr(line_addr);
+    // Line addresses have zeroed offset bits, so a valid tag can never
+    // equal kNoAddr (all ones): the tag mirror alone decides the hit.
     for (std::uint32_t way = 0; way < _params.assoc; ++way) {
-        Line &line = _lines[base + way];
-        if (line.valid && line.tag == lineAddr(line_addr))
-            return &line;
+        if (_tags[base + way] == tag)
+            return &_lines[base + way];
     }
     return nullptr;
 }
@@ -48,23 +52,32 @@ Cache::find(Addr line_addr) const
 void
 Cache::touch(Line &line)
 {
-    line.lruStamp = ++_stampCounter;
+    _stamps[static_cast<std::size_t>(&line - _lines.data())] =
+        ++_stampCounter;
 }
 
 std::optional<Cache::Victim>
 Cache::insert(Addr line_addr, Line **out_line)
 {
     const std::size_t base = setIndex(line_addr);
-    Line *victim_line = nullptr;
+    // Victim scan over the dense tag/stamp mirrors: first free way,
+    // else least-recently-stamped — identical order to a scan of the
+    // Line structs themselves.
+    std::size_t victim_index = base;
+    bool have_victim = false;
     for (std::uint32_t way = 0; way < _params.assoc; ++way) {
-        Line &line = _lines[base + way];
-        if (!line.valid) {
-            victim_line = &line;
+        const std::size_t index = base + way;
+        if (_tags[index] == kNoAddr) {
+            victim_index = index;
+            have_victim = true;
             break;
         }
-        if (!victim_line || line.lruStamp < victim_line->lruStamp)
-            victim_line = &line;
+        if (!have_victim || _stamps[index] < _stamps[victim_index]) {
+            victim_index = index;
+            have_victim = true;
+        }
     }
+    Line *victim_line = &_lines[victim_index];
 
     std::optional<Victim> victim;
     if (victim_line->valid) {
@@ -76,6 +89,8 @@ Cache::insert(Addr line_addr, Line **out_line)
     *victim_line = Line{};
     victim_line->tag = lineAddr(line_addr);
     victim_line->valid = true;
+    _tags[static_cast<std::size_t>(victim_line - _lines.data())] =
+        victim_line->tag;
     touch(*victim_line);
     if (out_line)
         *out_line = victim_line;
@@ -87,6 +102,10 @@ Cache::invalidate(Addr line_addr)
 {
     if (Line *line = find(line_addr)) {
         *line = Line{};
+        const std::size_t index =
+            static_cast<std::size_t>(line - _lines.data());
+        _tags[index] = kNoAddr;
+        _stamps[index] = 0;
         return true;
     }
     return false;

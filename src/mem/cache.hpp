@@ -52,7 +52,6 @@ class Cache
         bool used = false;       ///< has served a demand access
         ComponentId comp = kNoComponent;
         Cycle readyAt = 0; ///< fill completion time
-        std::uint64_t lruStamp = 0;
     };
 
     /** Description of a line pushed out by an insertion. */
@@ -145,6 +144,14 @@ class Cache
     Params _params;
     std::uint32_t _numSets;
     std::vector<Line> _lines;
+    /** Tag-only mirror of _lines (kNoAddr = invalid): find() scans 8
+     *  bytes per way instead of the 40-byte Line, so a set fits in one
+     *  cache line. Maintained by insert()/invalidate() — callers
+     *  mutate every other Line field but never tag/valid. */
+    std::vector<Addr> _tags;
+    /** LRU stamps, same index space as _lines/_tags: the insert()
+     *  victim scan reads only _tags + _stamps (two dense arrays). */
+    std::vector<std::uint64_t> _stamps;
     std::vector<MshrEntry> _mshrs;
     std::uint64_t _stampCounter = 0;
 };

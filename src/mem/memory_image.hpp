@@ -7,6 +7,12 @@
  * model the value a returning prefetch delivers to its chasing FSM
  * (paper section IV-B: "the value from the previous prefetch will be
  * stored [and] the next prefetch will be issued").
+ *
+ * Pages live in a flat open-addressed table keyed by page number and
+ * hold fixed-size heap arrays (no per-page vector header churn). The
+ * aligned fast path resolves a 64-bit read or write with one table
+ * probe and one memcpy; only accesses straddling a page boundary fall
+ * back to the byte loop.
  */
 
 #ifndef DOL_MEM_MEMORY_IMAGE_HPP
@@ -14,9 +20,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
-#include <vector>
+#include <memory>
 
+#include "common/flat_table.hpp"
 #include "common/types.hpp"
 
 namespace dol
@@ -37,6 +43,15 @@ class MemoryImage : public ValueSource
     std::uint64_t
     read64(Addr addr) const override
     {
+        const std::size_t offset = addr & (kPageBytes - 1);
+        if (offset <= kPageBytes - 8) {
+            const Page *page = _pages.find(addr >> kPageBits);
+            if (!page)
+                return 0;
+            std::uint64_t value;
+            std::memcpy(&value, page->get() + offset, 8);
+            return value;
+        }
         std::uint64_t value = 0;
         auto *bytes = reinterpret_cast<std::uint8_t *>(&value);
         for (unsigned i = 0; i < 8; ++i)
@@ -47,6 +62,11 @@ class MemoryImage : public ValueSource
     void
     write64(Addr addr, std::uint64_t value)
     {
+        const std::size_t offset = addr & (kPageBytes - 1);
+        if (offset <= kPageBytes - 8) {
+            std::memcpy(pageFor(addr).get() + offset, &value, 8);
+            return;
+        }
         const auto *bytes = reinterpret_cast<const std::uint8_t *>(&value);
         for (unsigned i = 0; i < 8; ++i)
             writeByte(addr + i, bytes[i]);
@@ -58,25 +78,33 @@ class MemoryImage : public ValueSource
     static constexpr unsigned kPageBits = 12;
     static constexpr std::size_t kPageBytes = 1u << kPageBits;
 
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    Page &
+    pageFor(Addr addr)
+    {
+        auto [page, inserted] = _pages.tryEmplace(addr >> kPageBits);
+        if (inserted)
+            *page = std::make_unique<std::uint8_t[]>(kPageBytes);
+        return *page;
+    }
+
     std::uint8_t
     readByte(Addr addr) const
     {
-        const auto it = _pages.find(addr >> kPageBits);
-        if (it == _pages.end())
+        const Page *page = _pages.find(addr >> kPageBits);
+        if (!page)
             return 0;
-        return it->second[addr & (kPageBytes - 1)];
+        return (*page)[addr & (kPageBytes - 1)];
     }
 
     void
     writeByte(Addr addr, std::uint8_t byte)
     {
-        auto &page = _pages[addr >> kPageBits];
-        if (page.empty())
-            page.resize(kPageBytes, 0);
-        page[addr & (kPageBytes - 1)] = byte;
+        pageFor(addr)[addr & (kPageBytes - 1)] = byte;
     }
 
-    std::unordered_map<Addr, std::vector<std::uint8_t>> _pages;
+    FlatHashMap<std::uint64_t, Page> _pages;
 };
 
 } // namespace dol

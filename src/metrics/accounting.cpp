@@ -19,7 +19,7 @@ PrefetchAccounting::prefetchIssued(ComponentId comp, Addr line,
 {
     (void)dest;
     (void)when;
-    _pfp->insert(line);
+    _pfp.insert(line);
     _pfpByComp[comp].insert(line);
 
     Fruit fruit = Fruit::kHHF;
@@ -40,11 +40,9 @@ PrefetchAccounting::prefetchUsed(ComponentId comp, unsigned level,
     (void)level;
     if (level != kL1 && level != kL2)
         return;
-    const auto it = _issueCategory.find(line);
+    const std::uint8_t *category = _issueCategory.find(line);
     const unsigned fruit =
-        it != _issueCategory.end()
-            ? it->second
-            : static_cast<unsigned>(Fruit::kHHF);
+        category ? *category : static_cast<unsigned>(Fruit::kHHF);
     ++_categories[fruit].used;
     if (inFocus(line))
         ++_focus.used;
@@ -60,14 +58,12 @@ PrefetchAccounting::inducedMiss(unsigned level, Addr line,
     // Charge the negative credit to the category (and focus region) of
     // the victim lines' prefetches. We approximate with the category
     // of the missing line itself, which the prefetched lines displaced.
-    const auto it = _issueCategory.find(line);
+    const std::uint8_t *category = _issueCategory.find(line);
     const unsigned fruit =
-        it != _issueCategory.end()
-            ? it->second
-            : static_cast<unsigned>(
-                  _stratifier
-                      ? _stratifier->classify(line)
-                      : Fruit::kHHF);
+        category ? *category
+                 : static_cast<unsigned>(
+                       _stratifier ? _stratifier->classify(line)
+                                   : Fruit::kHHF);
     _categories[fruit].inducedCredit += 1.0;
     if (inFocus(line))
         _focus.inducedCredit += 1.0;
@@ -79,10 +75,10 @@ PrefetchAccounting::scope() const
     if (_fpWeight == 0)
         return 0.0;
     std::uint64_t covered = 0;
-    for (const auto &[line, weight] : _fp) {
-        if (_pfp->contains(line))
+    _fp.forEach([&](Addr line, std::uint32_t weight) {
+        if (_pfp.contains(line))
             covered += weight;
-    }
+    });
     return static_cast<double>(covered) /
            static_cast<double>(_fpWeight);
 }
@@ -94,10 +90,10 @@ PrefetchAccounting::scopeOf(ComponentId comp) const
         return 0.0;
     const auto &pfp = _pfpByComp[comp];
     std::uint64_t covered = 0;
-    for (const auto &[line, weight] : _fp) {
+    _fp.forEach([&](Addr line, std::uint32_t weight) {
         if (pfp.contains(line))
             covered += weight;
-    }
+    });
     return static_cast<double>(covered) /
            static_cast<double>(_fpWeight);
 }
@@ -109,13 +105,13 @@ PrefetchAccounting::scopeInCategory(Fruit fruit) const
         return 0.0;
     std::uint64_t total = 0;
     std::uint64_t covered = 0;
-    for (const auto &[line, weight] : _fp) {
+    _fp.forEach([&](Addr line, std::uint32_t weight) {
         if (_stratifier->classify(line) != fruit)
-            continue;
+            return;
         total += weight;
-        if (_pfp->contains(line))
+        if (_pfp.contains(line))
             covered += weight;
-    }
+    });
     return total ? static_cast<double>(covered) /
                        static_cast<double>(total)
                  : 0.0;
@@ -124,17 +120,17 @@ PrefetchAccounting::scopeInCategory(Fruit fruit) const
 double
 PrefetchAccounting::focusScope() const
 {
-    if (!_exclude)
+    if (!_haveExclude)
         return 0.0;
     std::uint64_t total = 0;
     std::uint64_t covered = 0;
-    for (const auto &[line, weight] : _fp) {
+    _fp.forEach([&](Addr line, std::uint32_t weight) {
         if (!inFocus(line))
-            continue;
+            return;
         total += weight;
-        if (_pfp->contains(line))
+        if (_pfp.contains(line))
             covered += weight;
-    }
+    });
     return total ? static_cast<double>(covered) /
                        static_cast<double>(total)
                  : 0.0;
@@ -143,7 +139,12 @@ PrefetchAccounting::focusScope() const
 std::shared_ptr<std::unordered_set<Addr>>
 PrefetchAccounting::takePfp()
 {
-    return _pfp;
+    // Materialise a node-based copy: the exclude-set plumbing between
+    // chained experiments keeps the shared_ptr API.
+    auto out = std::make_shared<std::unordered_set<Addr>>();
+    out->reserve(_pfp.size());
+    _pfp.forEach([&](Addr line) { out->insert(line); });
+    return out;
 }
 
 } // namespace dol

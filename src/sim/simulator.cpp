@@ -136,4 +136,11 @@ Simulator::exportCounters(CounterRegistry &registry) const
     }
 }
 
+void
+Simulator::exportPerfCounters(CounterRegistry &registry) const
+{
+    registry.set("sim", "fill_queue_hwm", _fills.highWaterMark());
+    registry.set("sim", "fill_queue_capacity", _fills.capacity());
+}
+
 } // namespace dol

@@ -12,13 +12,12 @@
 #ifndef DOL_SIM_SIMULATOR_HPP
 #define DOL_SIM_SIMULATOR_HPP
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "cpu/core.hpp"
 #include "mem/memory_system.hpp"
 #include "metrics/accounting.hpp"
@@ -112,6 +111,14 @@ class Simulator
      */
     void exportCounters(CounterRegistry &registry) const;
 
+    /**
+     * Harvest perf-observability counters (fill-queue high-water mark,
+     * resident page count). Kept out of exportCounters() because the
+     * golden-trace snapshots freeze that counter set; the throughput
+     * bench harvests these on top.
+     */
+    void exportPerfCounters(CounterRegistry &registry) const;
+
   private:
     struct FillEvent
     {
@@ -124,7 +131,7 @@ class Simulator
     class FillQueue : public MemListener
     {
       public:
-        explicit FillQueue(std::deque<FillEvent> &queue)
+        explicit FillQueue(RingBuffer<FillEvent> &queue)
             : _queue(&queue)
         {}
 
@@ -136,7 +143,7 @@ class Simulator
         }
 
       private:
-        std::deque<FillEvent> *_queue;
+        RingBuffer<FillEvent> *_queue;
     };
 
     void drainFills();
@@ -150,7 +157,7 @@ class Simulator
     PrefetchEmitter _emitter;
 
     PrefetchAccounting _accounting;
-    std::deque<FillEvent> _fills;
+    RingBuffer<FillEvent> _fills;
     FillQueue _fillQueue;
     ListenerChain _listeners;
 

@@ -3,27 +3,27 @@
 namespace dol
 {
 
-std::uint64_t &
-CounterRegistry::counter(const std::string &scope,
-                         const std::string &name)
+CounterRegistry::Handle
+CounterRegistry::handle(std::string_view scope, std::string_view name)
 {
-    return _counters[{scope, name}];
-}
-
-void
-CounterRegistry::set(const std::string &scope, const std::string &name,
-                     std::uint64_t value)
-{
-    _counters[{scope, name}] = value;
+    const auto probe = std::make_pair(scope, name);
+    auto it = _index.lower_bound(probe);
+    if (it != _index.end() && !_index.key_comp()(probe, it->first))
+        return it->second;
+    const Handle h = static_cast<Handle>(_values.size());
+    _values.push_back(0);
+    _index.emplace_hint(
+        it, std::make_pair(std::string(scope), std::string(name)), h);
+    return h;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
 CounterRegistry::sorted() const
 {
     std::vector<std::pair<std::string, std::uint64_t>> out;
-    out.reserve(_counters.size());
-    for (const auto &[key, value] : _counters)
-        out.emplace_back(key.first + "." + key.second, value);
+    out.reserve(_index.size());
+    for (const auto &[key, h] : _index)
+        out.emplace_back(key.first + "." + key.second, _values[h]);
     return out;
 }
 

@@ -16,10 +16,10 @@
 #ifndef DOL_WORKLOADS_KERNEL_HPP
 #define DOL_WORKLOADS_KERNEL_HPP
 
-#include <deque>
 #include <memory>
 #include <string>
 
+#include "common/ring_buffer.hpp"
 #include "cpu/instr.hpp"
 #include "mem/memory_image.hpp"
 
@@ -72,7 +72,7 @@ class Kernel
   private:
     std::string _name;
     MemoryImage *_memory;
-    std::deque<Instr> _queue;
+    RingBuffer<Instr> _queue;
 };
 
 } // namespace dol
