@@ -1,10 +1,13 @@
 #include "check/campaign.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <stdexcept>
 
 #include "check/shrink.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace dol::check
@@ -105,6 +108,27 @@ CampaignReport::summaryText() const
     return text;
 }
 
+namespace
+{
+
+/** Journal identity of a campaign: seed + mutation (cases are in the
+ *  plan's itemCount). */
+std::uint64_t
+campaignHash(const CampaignOptions &options)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mixByte = [&hash](unsigned char byte) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    };
+    for (unsigned shift = 0; shift < 64; shift += 8)
+        mixByte(static_cast<unsigned char>(options.seed >> shift));
+    mixByte(static_cast<unsigned char>(options.mutation));
+    return hash;
+}
+
+} // namespace
+
 CampaignReport
 runCampaign(const CampaignOptions &options)
 {
@@ -112,29 +136,97 @@ runCampaign(const CampaignOptions &options)
     report.cases = options.cases;
     report.seed = options.seed;
 
+    std::atomic<bool> private_stop{false};
+    std::atomic<bool> &stop =
+        options.stopFlag ? *options.stopFlag : private_stop;
+
+    runner::JournalPlan plan;
+    plan.itemCount = options.cases;
+    plan.gridHash = campaignHash(options);
+
+    std::vector<char> resumed(options.cases, 0);
+    runner::CheckpointJournal journal;
+    if (!options.checkpointPath.empty()) {
+        std::string error;
+        bool append = false;
+        if (options.resume) {
+            const auto loaded =
+                runner::CheckpointJournal::load(options.checkpointPath);
+            if (loaded.fileExists) {
+                if (!loaded.valid)
+                    throw std::runtime_error(
+                        "checkpoint " + options.checkpointPath + ": " +
+                        loaded.error);
+                if (!loaded.plan || !(*loaded.plan == plan))
+                    throw std::runtime_error(
+                        "checkpoint " + options.checkpointPath +
+                        " was written for a different campaign (seed, "
+                        "mutation, or case count mismatch)");
+                for (const std::uint64_t index : loaded.cases) {
+                    if (index < options.cases)
+                        resumed[index] = 1;
+                }
+                if (!journal.openAppend(options.checkpointPath,
+                                        loaded.goodBytes, &error))
+                    throw std::runtime_error(
+                        "checkpoint " + options.checkpointPath + ": " +
+                        error);
+                append = true;
+            }
+        }
+        if (!append &&
+            !journal.create(options.checkpointPath, plan, &error))
+            throw std::runtime_error("checkpoint " +
+                                     options.checkpointPath + ": " +
+                                     error);
+    }
+
     // One pre-sized slot per case: workers never contend and the
     // report order is independent of scheduling.
     std::vector<std::optional<CaseFailure>> slots(options.cases);
+    std::vector<char> ran(options.cases, 0);
+    std::atomic<std::uint64_t> completed{0};
     {
         const unsigned jobs = options.jobs ? options.jobs
                                            : runner::hardwareJobs();
         runner::ThreadPool pool(jobs);
         for (std::uint64_t i = 0; i < options.cases; ++i) {
-            pool.submit([i, &options, &slots] {
+            if (resumed[i]) {
+                ++report.casesResumed;
+                continue;
+            }
+            pool.submit([i, &options, &slots, &ran, &journal, &stop,
+                         &completed] {
+                if (stop.load(std::memory_order_relaxed))
+                    return; // drained: re-runs on resume
                 std::vector<TraceRecord> shrunk;
                 auto failure = runCase(i, options, &shrunk);
                 if (failure) {
                     writeReproducer(options, *failure, shrunk);
                     slots[i] = std::move(*failure);
+                } else if (journal.isOpen()) {
+                    // Only passes are journaled: failures re-run on
+                    // resume so diffs and reproducers regenerate.
+                    journal.appendCaseDone(i);
                 }
+                ran[i] = 1;
+                const std::uint64_t done =
+                    completed.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (options.stopAfterCases &&
+                    done >= options.stopAfterCases)
+                    stop.store(true, std::memory_order_relaxed);
             });
         }
         pool.wait();
     }
 
-    for (auto &slot : slots) {
-        if (slot)
-            report.failures.push_back(std::move(*slot));
+    report.casesRun = completed.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < options.cases; ++i) {
+        if (!resumed[i] && !ran[i])
+            report.interrupted = true;
+        if (slots[i])
+            report.failures.push_back(std::move(*slots[i]));
     }
     return report;
 }

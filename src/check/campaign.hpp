@@ -16,6 +16,7 @@
 #ifndef DOL_CHECK_CAMPAIGN_HPP
 #define DOL_CHECK_CAMPAIGN_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,24 @@ struct CampaignOptions
     /** Shrink failures before writing them out. */
     bool shrink = true;
     std::size_t maxShrinkEvaluations = 2000;
+
+    /**
+     * Journal passing cases here (crash-safe resume); empty = no
+     * checkpointing. Failing cases are never journaled: a resumed
+     * campaign re-runs them, regenerating the identical diff summary
+     * and reproducer files, so an interrupted-then-resumed campaign
+     * reports byte-identically to an uninterrupted one.
+     */
+    std::string checkpointPath;
+    /** Skip the cases checkpointPath records as passed. */
+    bool resume = false;
+    /** Graceful-drain flag shared with the signal handlers; nullptr =
+     *  campaign-private flag. */
+    std::atomic<bool> *stopFlag = nullptr;
+    /** Test hook: raise the stop flag after this many cases complete
+     *  in this run (0 = never). Makes "interrupt mid-campaign"
+     *  deterministic without signals. */
+    std::uint64_t stopAfterCases = 0;
 };
 
 struct CaseFailure
@@ -56,7 +75,13 @@ struct CampaignReport
     std::uint64_t seed = 0;
     std::vector<CaseFailure> failures; ///< ascending case index
 
-    bool ok() const { return failures.empty(); }
+    /** Cases executed in this run / skipped via the checkpoint. */
+    std::uint64_t casesRun = 0;
+    std::uint64_t casesResumed = 0;
+    /** A stop request drained the campaign before every case ran. */
+    bool interrupted = false;
+
+    bool ok() const { return failures.empty() && !interrupted; }
 
     /** Deterministic human-readable summary (diffed in CI). */
     std::string summaryText() const;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation work.
+ *
+ * A CancelToken combines a shared stop flag (set by a signal handler
+ * or a supervisor when a sweep should drain) with an optional
+ * per-attempt wall-clock deadline (the runner's per-cell timeout).
+ * Work that wants to be cancellable polls cancelled() at natural
+ * checkpoints — the simulator does so every few thousand instructions
+ * — and throws CancelledError, which the runner's supervision layer
+ * maps onto "timed out" (deadline hit) or "drained" (stop requested).
+ *
+ * The token is created by the supervising thread and read on the
+ * worker thread executing the attempt; only the stop flag is shared
+ * across threads, and it is atomic.
+ */
+
+#ifndef DOL_COMMON_CANCEL_HPP
+#define DOL_COMMON_CANCEL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace dol
+{
+
+struct CancelToken
+{
+    /** Sweep-wide stop flag (graceful drain); nullptr = none. */
+    const std::atomic<bool> *stopFlag = nullptr;
+    /** Per-attempt deadline; the epoch value means "no deadline". */
+    std::chrono::steady_clock::time_point deadline{};
+
+    bool
+    hasDeadline() const
+    {
+        return deadline != std::chrono::steady_clock::time_point{};
+    }
+
+    bool
+    stopRequested() const
+    {
+        return stopFlag != nullptr &&
+               stopFlag->load(std::memory_order_relaxed);
+    }
+
+    bool
+    expired() const
+    {
+        return hasDeadline() &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+
+    bool cancelled() const { return stopRequested() || expired(); }
+};
+
+/** Thrown from a cancellation point once a token reports cancelled. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace dol
+
+#endif // DOL_COMMON_CANCEL_HPP

@@ -1,0 +1,391 @@
+#include "runner/checkpoint.hpp"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "trace/trace_io.hpp"
+
+namespace dol::runner
+{
+
+namespace
+{
+
+enum RecordType : std::uint8_t
+{
+    kPlan = 1,
+    kJobDone = 2,
+    kCaseDone = 3,
+};
+
+// Record envelope: type u8 | payload-length u32 | fnv64(payload) u64 |
+// payload. All integers little-endian, independent of host order.
+constexpr std::size_t kEnvelopeBytes = 1 + 4 + 8;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Bounds-checked little-endian reader over a payload. */
+struct Cursor
+{
+    const unsigned char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(std::size_t n)
+    {
+        if (!ok || size - pos < n)
+            ok = false;
+        return ok;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+void
+putRow(std::string &out, const MetricsRow &row)
+{
+    putString(out, row.workload);
+    putString(out, row.prefetcher);
+    putString(out, row.variant);
+    putU64(out, row.seed);
+    putF64(out, row.baselineIpc);
+    putF64(out, row.ipc);
+    putF64(out, row.speedup);
+    putF64(out, row.baselineMpkiL1);
+    putU64(out, row.prefetchesIssued);
+    putF64(out, row.scope);
+    putF64(out, row.effAccuracyL1);
+    putF64(out, row.effCoverageL1);
+    putF64(out, row.effAccuracyL2);
+    putF64(out, row.effCoverageL2);
+    putF64(out, row.trafficNormalized);
+    putU64(out, row.instructions);
+    const auto counters = row.counters.entries();
+    putU32(out, static_cast<std::uint32_t>(counters.size()));
+    for (const auto &[scope, name, value] : counters) {
+        putString(out, scope);
+        putString(out, name);
+        putU64(out, value);
+    }
+}
+
+MetricsRow
+readRow(Cursor &in)
+{
+    MetricsRow row;
+    row.workload = in.str();
+    row.prefetcher = in.str();
+    row.variant = in.str();
+    row.seed = in.u64();
+    row.baselineIpc = in.f64();
+    row.ipc = in.f64();
+    row.speedup = in.f64();
+    row.baselineMpkiL1 = in.f64();
+    row.prefetchesIssued = in.u64();
+    row.scope = in.f64();
+    row.effAccuracyL1 = in.f64();
+    row.effCoverageL1 = in.f64();
+    row.effAccuracyL2 = in.f64();
+    row.effCoverageL2 = in.f64();
+    row.trafficNormalized = in.f64();
+    row.instructions = in.u64();
+    const std::uint32_t counters = in.u32();
+    for (std::uint32_t i = 0; i < counters && in.ok; ++i) {
+        const std::string scope = in.str();
+        const std::string name = in.str();
+        row.counters.set(scope, name, in.u64());
+    }
+    return row;
+}
+
+std::string
+encodePlan(const JournalPlan &plan)
+{
+    std::string payload;
+    putU64(payload, plan.itemCount);
+    putU64(payload, plan.gridHash);
+    putU64(payload, plan.maxInstrs);
+    return payload;
+}
+
+std::string
+encodeJobDone(const JournalJobDone &job)
+{
+    std::string payload;
+    putU64(payload, job.jobIndex);
+    putString(payload, job.label);
+    putString(payload, job.variant);
+    putU64(payload, job.seed);
+    putF64(payload, job.wallMs);
+    putU32(payload, static_cast<std::uint32_t>(job.rows.size()));
+    for (const MetricsRow &row : job.rows)
+        putRow(payload, row);
+    return payload;
+}
+
+} // namespace
+
+bool
+CheckpointJournal::create(const std::string &path,
+                          const JournalPlan &plan, std::string *error)
+{
+    {
+        std::lock_guard lock(_mutex);
+        if (_file) {
+            std::fclose(_file);
+            _file = nullptr;
+        }
+        _file = std::fopen(path.c_str(), "wb");
+        if (!_file) {
+            if (error)
+                *error = "cannot create checkpoint " + path;
+            return false;
+        }
+        if (std::fwrite(kCheckpointMagic, 1, sizeof kCheckpointMagic,
+                        _file) != sizeof kCheckpointMagic) {
+            std::fclose(_file);
+            _file = nullptr;
+            if (error)
+                *error = "short write to checkpoint " + path;
+            return false;
+        }
+    }
+    if (!appendRecord(kPlan, encodePlan(plan))) {
+        if (error)
+            *error = "cannot write checkpoint plan to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+CheckpointJournal::openAppend(const std::string &path,
+                              std::uint64_t good_bytes,
+                              std::string *error)
+{
+    std::lock_guard lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_bytes, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot truncate checkpoint " + path + ": " +
+                     ec.message();
+        return false;
+    }
+    _file = std::fopen(path.c_str(), "ab");
+    if (!_file) {
+        if (error)
+            *error = "cannot reopen checkpoint " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+CheckpointJournal::appendRecord(std::uint8_t type,
+                                const std::string &payload)
+{
+    std::lock_guard lock(_mutex);
+    if (!_file)
+        return false;
+    std::string envelope;
+    envelope.push_back(static_cast<char>(type));
+    putU32(envelope, static_cast<std::uint32_t>(payload.size()));
+    putU64(envelope, fnv64(payload.data(), payload.size()));
+    if (std::fwrite(envelope.data(), 1, envelope.size(), _file) !=
+            envelope.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), _file) !=
+            payload.size()) {
+        return false;
+    }
+    // The fsync is the crash-safety point: once append returns, a
+    // SIGKILL cannot lose this record.
+    if (std::fflush(_file) != 0)
+        return false;
+    return fsync(fileno(_file)) == 0;
+}
+
+bool
+CheckpointJournal::appendJobDone(const JournalJobDone &record)
+{
+    return appendRecord(kJobDone, encodeJobDone(record));
+}
+
+bool
+CheckpointJournal::appendCaseDone(std::uint64_t case_index)
+{
+    std::string payload;
+    putU64(payload, case_index);
+    return appendRecord(kCaseDone, payload);
+}
+
+void
+CheckpointJournal::close()
+{
+    std::lock_guard lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+CheckpointJournal::Load
+CheckpointJournal::load(const std::string &path)
+{
+    Load out;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        out.error = "no checkpoint at " + path;
+        return out;
+    }
+    out.fileExists = true;
+
+    std::string bytes;
+    char buffer[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        bytes.append(buffer, got);
+    std::fclose(file);
+
+    if (bytes.size() < sizeof kCheckpointMagic ||
+        std::memcmp(bytes.data(), kCheckpointMagic,
+                    sizeof kCheckpointMagic) != 0) {
+        out.error = path + " is not a DOLCKPT1 checkpoint";
+        return out;
+    }
+    out.valid = true;
+    out.goodBytes = sizeof kCheckpointMagic;
+
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    std::size_t pos = sizeof kCheckpointMagic;
+    while (pos < bytes.size()) {
+        // Envelope, then payload; any shortfall or checksum mismatch
+        // is a torn tail — drop it and everything after.
+        if (bytes.size() - pos < kEnvelopeBytes)
+            break;
+        Cursor env{data + pos + 1, kEnvelopeBytes - 1};
+        const std::uint8_t type = data[pos];
+        const std::uint32_t length = env.u32();
+        const std::uint64_t checksum = env.u64();
+        if (bytes.size() - pos - kEnvelopeBytes < length)
+            break;
+        const unsigned char *payload = data + pos + kEnvelopeBytes;
+        if (fnv64(payload, length) != checksum)
+            break;
+
+        Cursor in{payload, length};
+        bool parsed = true;
+        switch (type) {
+        case kPlan: {
+            JournalPlan plan;
+            plan.itemCount = in.u64();
+            plan.gridHash = in.u64();
+            plan.maxInstrs = in.u64();
+            if (in.ok)
+                out.plan = plan;
+            parsed = in.ok;
+            break;
+        }
+        case kJobDone: {
+            JournalJobDone job;
+            job.jobIndex = in.u64();
+            job.label = in.str();
+            job.variant = in.str();
+            job.seed = in.u64();
+            job.wallMs = in.f64();
+            const std::uint32_t rows = in.u32();
+            for (std::uint32_t i = 0; i < rows && in.ok; ++i)
+                job.rows.push_back(readRow(in));
+            if (in.ok)
+                out.jobs.push_back(std::move(job));
+            parsed = in.ok;
+            break;
+        }
+        case kCaseDone:
+            out.cases.push_back(in.u64());
+            parsed = in.ok;
+            break;
+        default:
+            parsed = false;
+            break;
+        }
+        if (!parsed)
+            break;
+        pos += kEnvelopeBytes + length;
+        out.goodBytes = pos;
+    }
+    out.cleanTail = out.goodBytes == bytes.size();
+    return out;
+}
+
+} // namespace dol::runner

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for sweeps and fuzz campaigns.
+ *
+ * The journal is an append-only binary file ("DOLCKPT1" magic) of
+ * length-prefixed, FNV-1a-checksummed records, fsync'd after every
+ * append, so at any kill point — SIGKILL included — the file holds a
+ * prefix of whole records plus at most one torn tail. The loader
+ * stops at the first short or checksum-failing record, reports how
+ * many clean bytes precede it, and a resuming writer truncates the
+ * tail away before appending.
+ *
+ * Record kinds:
+ *   kPlan     sweep identity: item count, grid hash, instr budget.
+ *             Written first; resume refuses a journal whose plan does
+ *             not match the sweep being resumed.
+ *   kJobDone  one completed sweep job: index, label, variant, seed,
+ *             wall time, and every metric row the job produced —
+ *             enough to merge the job into the final dol-sweep-v1
+ *             document byte-identically without re-simulating.
+ *             Doubles are stored bit-exact and counters as raw
+ *             (scope, name, u64) triples, so no text round trip can
+ *             perturb the resumed output.
+ *   kCaseDone one passing fuzz-campaign case (index only). Failing
+ *             cases are deliberately not journaled: a resumed
+ *             campaign re-runs them, regenerating the identical diff
+ *             and reproducer files.
+ *
+ * Only successes are journaled. Failed or in-flight work re-runs on
+ * resume; the journal never has to encode an exception.
+ */
+
+#ifndef DOL_RUNNER_CHECKPOINT_HPP
+#define DOL_RUNNER_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/result_store.hpp"
+
+namespace dol::runner
+{
+
+constexpr char kCheckpointMagic[8] = {'D', 'O', 'L', 'C',
+                                      'K', 'P', 'T', '1'};
+
+/** Identity of the sweep/campaign a journal belongs to. */
+struct JournalPlan
+{
+    /** Total jobs (sweep) or cases (campaign). */
+    std::uint64_t itemCount = 0;
+    /** FNV-1a over every job's (label, variant, seed) — or, for a
+     *  campaign, over (seed, mutation). */
+    std::uint64_t gridHash = 0;
+    std::uint64_t maxInstrs = 0;
+
+    bool
+    operator==(const JournalPlan &other) const
+    {
+        return itemCount == other.itemCount &&
+               gridHash == other.gridHash &&
+               maxInstrs == other.maxInstrs;
+    }
+};
+
+/** One completed sweep job, with everything needed to merge it. */
+struct JournalJobDone
+{
+    std::uint64_t jobIndex = 0;
+    std::string label;
+    std::string variant;
+    std::uint64_t seed = 0;
+    double wallMs = 0.0;
+    std::vector<MetricsRow> rows;
+};
+
+class CheckpointJournal
+{
+  public:
+    CheckpointJournal() = default;
+    ~CheckpointJournal() { close(); }
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /** Truncate/create @p path and write the plan record. */
+    bool create(const std::string &path, const JournalPlan &plan,
+                std::string *error = nullptr);
+
+    /**
+     * Reopen an existing journal for appending, first truncating it
+     * to @p good_bytes (from Load::goodBytes) so a torn tail from the
+     * previous crash never precedes new records.
+     */
+    bool openAppend(const std::string &path, std::uint64_t good_bytes,
+                    std::string *error = nullptr);
+
+    /** Append + fsync one completed job. Thread-safe. */
+    bool appendJobDone(const JournalJobDone &record);
+
+    /** Append + fsync one passing campaign case. Thread-safe. */
+    bool appendCaseDone(std::uint64_t case_index);
+
+    bool isOpen() const { return _file != nullptr; }
+    void close();
+
+    struct Load
+    {
+        bool fileExists = false;
+        /** Header parsed (magic ok). False => not a journal at all. */
+        bool valid = false;
+        /** False when a torn/corrupt tail was dropped. */
+        bool cleanTail = true;
+        /** Bytes of clean prefix (header + whole good records). */
+        std::uint64_t goodBytes = 0;
+        std::optional<JournalPlan> plan;
+        std::vector<JournalJobDone> jobs;
+        std::vector<std::uint64_t> cases;
+        std::string error;
+    };
+
+    /**
+     * Read every intact record of @p path. Never throws: a missing
+     * file reports fileExists=false, garbage reports valid=false, and
+     * a torn tail is dropped with cleanTail=false.
+     */
+    static Load load(const std::string &path);
+
+  private:
+    bool appendRecord(std::uint8_t type, const std::string &payload);
+
+    std::mutex _mutex;
+    std::FILE *_file = nullptr;
+};
+
+} // namespace dol::runner
+
+#endif // DOL_RUNNER_CHECKPOINT_HPP

@@ -5,6 +5,21 @@
 namespace dol::runner
 {
 
+double
+etaSeconds(std::size_t done, std::size_t skipped, std::size_t total,
+           double elapsed_seconds)
+{
+    const std::size_t completed = done + skipped;
+    // Degenerate sweeps: everything already accounted for (resume of
+    // a finished sweep, all cells skipped), counters that overran the
+    // total, or no executed job to extrapolate from.
+    if (completed >= total || done == 0 || elapsed_seconds < 0.0)
+        return 0.0;
+    const std::size_t remaining = total - completed;
+    return elapsed_seconds * static_cast<double>(remaining) /
+           static_cast<double>(done);
+}
+
 ProgressMeter::ProgressMeter(std::size_t total, bool enabled,
                              std::FILE *out)
     : _out(out), _enabled(enabled && total > 0),
@@ -21,31 +36,42 @@ ProgressMeter::elapsedSeconds() const
 }
 
 void
+ProgressMeter::printLine(const std::string &label, double wall_ms,
+                         bool skipped)
+{
+    const double eta =
+        etaSeconds(_done, _skipped, _total, elapsedSeconds());
+    const std::size_t completed = _done + _skipped;
+    const char *note = skipped ? " (from checkpoint)" : "";
+    if (_tty) {
+        std::fprintf(_out,
+                     "\r[%zu/%zu] %-32.32s %7.1f ms  eta %5.0fs",
+                     completed, _total, label.c_str(), wall_ms, eta);
+    } else {
+        std::fprintf(_out, "[%zu/%zu] %s (%.1f ms, eta %.0fs)%s\n",
+                     completed, _total, label.c_str(), wall_ms, eta,
+                     note);
+    }
+    std::fflush(_out);
+}
+
+void
 ProgressMeter::onJobDone(const std::string &label, double wall_ms)
 {
     std::lock_guard lock(_mutex);
     ++_done;
     _wallMsSum += wall_ms;
-    if (!_enabled)
-        return;
+    if (_enabled)
+        printLine(label, wall_ms, false);
+}
 
-    // ETA from real elapsed time scaled by the remaining fraction:
-    // robust to any worker count without modeling the pool.
-    const double elapsed = elapsedSeconds();
-    const double eta =
-        _done ? elapsed * static_cast<double>(_total - _done) /
-                    static_cast<double>(_done)
-              : 0.0;
-
-    if (_tty) {
-        std::fprintf(_out,
-                     "\r[%zu/%zu] %-32.32s %7.1f ms  eta %5.0fs",
-                     _done, _total, label.c_str(), wall_ms, eta);
-    } else {
-        std::fprintf(_out, "[%zu/%zu] %s (%.1f ms, eta %.0fs)\n",
-                     _done, _total, label.c_str(), wall_ms, eta);
-    }
-    std::fflush(_out);
+void
+ProgressMeter::onJobSkipped(const std::string &label)
+{
+    std::lock_guard lock(_mutex);
+    ++_skipped;
+    if (_enabled)
+        printLine(label, 0.0, true);
 }
 
 void
@@ -56,10 +82,20 @@ ProgressMeter::finish()
         return;
     if (_tty)
         std::fputc('\n', _out);
-    std::fprintf(_out,
-                 "sweep: %zu jobs in %.1fs (%.1f ms avg per job)\n",
-                 _done, elapsedSeconds(),
-                 _done ? _wallMsSum / static_cast<double>(_done) : 0.0);
+    if (_skipped) {
+        std::fprintf(
+            _out,
+            "sweep: %zu jobs in %.1fs (%.1f ms avg per job, %zu "
+            "merged from checkpoint)\n",
+            _done + _skipped, elapsedSeconds(),
+            _done ? _wallMsSum / static_cast<double>(_done) : 0.0,
+            _skipped);
+    } else {
+        std::fprintf(
+            _out, "sweep: %zu jobs in %.1fs (%.1f ms avg per job)\n",
+            _done, elapsedSeconds(),
+            _done ? _wallMsSum / static_cast<double>(_done) : 0.0);
+    }
     std::fflush(_out);
 }
 

@@ -2,10 +2,15 @@
  * @file
  * Live progress line for parallel sweeps: completed/total, the label
  * that just finished, per-job wall time and an ETA extrapolated from
- * the mean job time. On a TTY it rewrites one stderr line; piped into
- * a log it prints one line per completed job so CI output stays
- * greppable. This is the runner's first observability hook — later
- * PRs can swap in richer sinks behind the same onJobDone() call.
+ * the mean executed-job time. On a TTY it rewrites one stderr line;
+ * piped into a log it prints one line per completed job so CI output
+ * stays greppable.
+ *
+ * Resume-aware: jobs merged from a checkpoint (or skipped by a drain)
+ * are reported through onJobSkipped() — they advance the completed
+ * count but never feed the ETA, so resuming an almost-finished sweep
+ * neither divides by zero nor extrapolates a bogus finish time from
+ * instantaneous journal reads.
  */
 
 #ifndef DOL_RUNNER_PROGRESS_HPP
@@ -18,6 +23,16 @@
 
 namespace dol::runner
 {
+
+/**
+ * Remaining-time estimate, pure for unit testing. Extrapolates from
+ * executed jobs only; degenerate sweeps — nothing executed yet,
+ * nothing remaining, all cells skipped on resume, or counters that
+ * somehow overran the total — all report 0 instead of dividing by
+ * zero or underflowing the remaining count.
+ */
+double etaSeconds(std::size_t done, std::size_t skipped,
+                  std::size_t total, double elapsed_seconds);
 
 class ProgressMeter
 {
@@ -34,17 +49,25 @@ class ProgressMeter
     /** Record one finished job; prints the progress line. */
     void onJobDone(const std::string &label, double wall_ms);
 
+    /** Record a job that was merged from a checkpoint or skipped by
+     *  a graceful stop: counts toward progress, not toward ETA. */
+    void onJobSkipped(const std::string &label);
+
     /** Finish the line (TTY mode) and print the sweep total. */
     void finish();
 
     double elapsedSeconds() const;
 
   private:
+    void printLine(const std::string &label, double wall_ms,
+                   bool skipped);
+
     std::FILE *_out;
     bool _enabled;
     bool _tty;
     std::size_t _total;
     std::size_t _done = 0;
+    std::size_t _skipped = 0;
     double _wallMsSum = 0.0;
     std::chrono::steady_clock::time_point _start;
     std::mutex _mutex;

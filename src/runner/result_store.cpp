@@ -195,11 +195,30 @@ ResultStore::toJson(const SweepMeta &meta) const
         writeRow(json, row);
     json.endArray();
 
+    // Quarantined cells (retry budget exhausted). Emitted only when
+    // present: a clean sweep's document is byte-identical to one
+    // produced before fault tolerance existed.
+    if (!meta.failedCells.empty()) {
+        json.key("failed_cells").beginArray();
+        for (const FailedCell &cell : meta.failedCells) {
+            json.beginObject();
+            json.field("label", cell.label);
+            json.field("variant", cell.variant);
+            json.field("seed", cell.seed);
+            json.field("attempts", cell.attempts);
+            json.field("kind", cell.kind);
+            json.field("error", cell.error);
+            json.endObject();
+        }
+        json.endArray();
+    }
+
     // Everything below is wall-clock dependent and excluded from the
     // determinism contract (see README "JSON schema").
     json.key("timing").beginObject();
     json.field("jobs", meta.jobs);
     json.field("elapsed_seconds", meta.elapsedSeconds);
+    json.field("resumed_jobs", meta.resumedJobs);
     json.key("wall_ms").beginArray();
     for (const double ms : meta.wallMs)
         json.value(ms);

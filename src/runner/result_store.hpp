@@ -58,6 +58,23 @@ MetricsRow makeMetricsRow(const RunOutput &out,
                           const std::string &variant,
                           std::uint64_t seed);
 
+/**
+ * A cell that exhausted its retry budget. The sweep completes around
+ * it; the document records the loss explicitly instead of aborting.
+ */
+struct FailedCell
+{
+    std::string label;
+    std::string variant;
+    std::uint64_t seed = 0;
+    /** Attempts made (first run + retries). */
+    unsigned attempts = 0;
+    /** "error" (threw) or "timeout" (cell deadline expired). */
+    std::string kind;
+    /** what() of the last attempt's exception. */
+    std::string error;
+};
+
 /** Sweep-level metadata serialized into the JSON header. */
 struct SweepMeta
 {
@@ -68,6 +85,13 @@ struct SweepMeta
     double elapsedSeconds = 0.0;
     /** Per-row wall milliseconds, grid order (timing section). */
     std::vector<double> wallMs;
+    /** Jobs merged from a checkpoint instead of re-run (timing
+     *  section: deterministic results stay byte-identical). */
+    std::uint64_t resumedJobs = 0;
+    /** Quarantined cells, submission order. Serialized as the
+     *  "failed_cells" array — only when non-empty, so documents from
+     *  clean sweeps keep their exact historical bytes. */
+    std::vector<FailedCell> failedCells;
 };
 
 class ResultStore

@@ -1,8 +1,13 @@
 #include "runner/sweep.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <stdexcept>
+#include <thread>
 
+#include "common/cancel.hpp"
+#include "runner/checkpoint.hpp"
 #include "runner/progress.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -31,7 +36,7 @@ cellSeed(std::string_view workload, std::string_view prefetcher,
 }
 
 SweepRunner::SweepRunner(const SimConfig &base, SweepOptions options)
-    : _base(base), _options(options)
+    : _base(base), _options(std::move(options))
 {}
 
 unsigned
@@ -82,56 +87,285 @@ SweepRunner::addJob(const std::string &label, JobBody body,
     _pending.push_back(std::move(job));
 }
 
+std::uint64_t
+SweepRunner::gridHash(const std::vector<PendingJob> &jobs) const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    const auto mixByte = [&hash](unsigned char byte) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    };
+    const auto mixString = [&](std::string_view text) {
+        for (const char c : text)
+            mixByte(static_cast<unsigned char>(c));
+        mixByte(0x1f);
+    };
+    for (const PendingJob &job : jobs) {
+        mixString(job.label);
+        mixString(job.variant);
+        for (unsigned shift = 0; shift < 64; shift += 8)
+            mixByte(static_cast<unsigned char>(job.seed >> shift));
+    }
+    return hash;
+}
+
+namespace
+{
+
+/** Sleep roughly @p ms, returning early once @p stop is raised. */
+void
+backoffSleep(double ms, const std::atomic<bool> &stop)
+{
+    using clock = std::chrono::steady_clock;
+    const auto until =
+        clock::now() + std::chrono::duration<double, std::milli>(ms);
+    while (clock::now() < until) {
+        if (stop.load(std::memory_order_relaxed))
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+/**
+ * Act out one fault site on the worker thread. kThrow and kHang leave
+ * via exceptions, kAbort leaves via the process exiting, kStop
+ * returns so the job it targets still runs (it models a SIGTERM
+ * arriving just as the cell starts: the in-flight cell completes and
+ * journals, everything queued behind it drains).
+ */
+void
+injectFault(FaultPlan::Kind kind, std::size_t job_index,
+            std::atomic<bool> &stop, const CancelToken &token)
+{
+    switch (kind) {
+    case FaultPlan::Kind::kThrow:
+        throw std::runtime_error("injected fault: throw at job " +
+                                 std::to_string(job_index));
+    case FaultPlan::Kind::kHang:
+        for (;;) {
+            if (stop.load(std::memory_order_relaxed))
+                throw CancelledError(
+                    "injected hang interrupted by stop request");
+            if (token.expired())
+                throw CancelledError(
+                    "injected hang exceeded the cell timeout");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    case FaultPlan::Kind::kAbort:
+        // No unwinding, no stdio flushing — indistinguishable from
+        // SIGKILL except for the exit code.
+        std::_Exit(137);
+    case FaultPlan::Kind::kStop:
+        stop.store(true, std::memory_order_relaxed);
+        return;
+    }
+}
+
+} // namespace
+
 SweepRunner::Report
 SweepRunner::run()
 {
     std::vector<PendingJob> jobs;
     jobs.swap(_pending);
 
+    std::atomic<bool> private_stop{false};
+    std::atomic<bool> &stop =
+        _options.stopFlag ? *_options.stopFlag : private_stop;
+
+    JournalPlan plan;
+    plan.itemCount = jobs.size();
+    plan.gridHash = gridHash(jobs);
+    plan.maxInstrs = _base.maxInstrs;
+
+    enum : std::uint8_t
+    {
+        kPending, ///< not run (skipped by a drain if the sweep ends)
+        kDone,    ///< executed this run
+        kResumed, ///< merged from the checkpoint journal
+        kFailed,  ///< retry budget exhausted (quarantined)
+    };
+    std::vector<std::uint8_t> state(jobs.size(), kPending);
+
+    // `loaded` owns the records `resumed` points into.
+    CheckpointJournal journal;
+    CheckpointJournal::Load loaded;
+    std::vector<const JournalJobDone *> resumed(jobs.size(), nullptr);
+    if (!_options.checkpointPath.empty()) {
+        std::string error;
+        bool append = false;
+        if (_options.resume) {
+            loaded = CheckpointJournal::load(_options.checkpointPath);
+            if (loaded.fileExists) {
+                if (!loaded.valid)
+                    throw std::runtime_error(
+                        "checkpoint " + _options.checkpointPath +
+                        ": " + loaded.error);
+                if (!loaded.plan || !(*loaded.plan == plan))
+                    throw std::runtime_error(
+                        "checkpoint " + _options.checkpointPath +
+                        " was written for a different sweep (grid or "
+                        "instruction budget mismatch)");
+                for (const JournalJobDone &rec : loaded.jobs) {
+                    if (rec.jobIndex < jobs.size() &&
+                        !resumed[rec.jobIndex]) {
+                        resumed[rec.jobIndex] = &rec;
+                        state[rec.jobIndex] = kResumed;
+                    }
+                }
+                append = true;
+            }
+        }
+        const bool opened =
+            append ? journal.openAppend(_options.checkpointPath,
+                                        loaded.goodBytes, &error)
+                   : journal.create(_options.checkpointPath, plan,
+                                    &error);
+        if (!opened)
+            throw std::runtime_error("checkpoint " +
+                                     _options.checkpointPath + ": " +
+                                     error);
+    }
+
     const auto cache = std::make_shared<BaselineCache>();
     ProgressMeter meter(jobs.size(), _options.progress);
 
     std::vector<std::vector<RunOutput>> per_job(jobs.size());
     std::vector<double> per_job_ms(jobs.size(), 0.0);
+    std::vector<FailedCell> failed(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (state[i] == kResumed)
+            meter.onJobSkipped(jobs[i].label);
+    }
+
+    const auto supervise = [&](std::size_t i) {
+        const PendingJob &job = jobs[i];
+        const FaultPlan::Site *site =
+            _options.faultPlan ? _options.faultPlan->siteFor(i)
+                               : nullptr;
+        const unsigned max_attempts = _options.retries + 1;
+        std::string last_kind;
+        std::string last_error;
+        std::exception_ptr last_exception;
+        unsigned attempts = 0;
+        for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+            if (attempt > 0) {
+                const unsigned doubling =
+                    attempt - 1 < 20u ? attempt - 1 : 20u;
+                backoffSleep(_options.retryBackoffMs *
+                                 static_cast<double>(1u << doubling),
+                             stop);
+            }
+            // Drain check: once stop is raised, jobs that have not
+            // started an attempt stay kPending and re-run on resume.
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            ++attempts;
+            CancelToken sim_token;
+            if (_options.cellTimeoutMs > 0.0) {
+                sim_token.deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            _options.cellTimeoutMs));
+            }
+            try {
+                if (site && FaultPlan::firesOn(*site, attempt))
+                    injectFault(site->kind, i, stop, sim_token);
+                // Job-private config: only the seed differs between
+                // cells, so shared baselines stay valid.
+                SimConfig config = _base;
+                config.mem.dram.rngSeed = job.seed;
+                ExperimentRunner runner(config, cache);
+                if (sim_token.hasDeadline())
+                    runner.setCancelToken(&sim_token);
+                const auto start = std::chrono::steady_clock::now();
+                std::vector<RunOutput> outs = job.body(runner);
+                per_job_ms[i] =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                if (journal.isOpen()) {
+                    JournalJobDone rec;
+                    rec.jobIndex = i;
+                    rec.label = job.label;
+                    rec.variant = job.variant;
+                    rec.seed = job.seed;
+                    rec.wallMs = per_job_ms[i];
+                    rec.rows.reserve(outs.size());
+                    for (const RunOutput &out : outs)
+                        rec.rows.push_back(makeMetricsRow(
+                            out, job.variant, job.seed));
+                    journal.appendJobDone(rec);
+                }
+                per_job[i] = std::move(outs);
+                state[i] = kDone;
+                meter.onJobDone(job.label, per_job_ms[i]);
+                return;
+            } catch (const CancelledError &e) {
+                if (stop.load(std::memory_order_relaxed)) {
+                    // Drained, not failed: re-runs on resume.
+                    return;
+                }
+                last_kind = "timeout";
+                last_error = e.what();
+                last_exception = std::current_exception();
+            } catch (const std::exception &e) {
+                last_kind = "error";
+                last_error = e.what();
+                last_exception = std::current_exception();
+            } catch (...) {
+                last_kind = "error";
+                last_error = "unknown exception";
+                last_exception = std::current_exception();
+            }
+        }
+        state[i] = kFailed;
+        if (_options.onError == SweepOptions::OnError::kQuarantine) {
+            FailedCell cell;
+            cell.label = job.label;
+            cell.variant = job.variant;
+            cell.seed = job.seed;
+            cell.attempts = attempts;
+            cell.kind = last_kind;
+            cell.error = last_error;
+            failed[i] = std::move(cell);
+            meter.onJobDone(job.label + " [failed]", per_job_ms[i]);
+        } else {
+            errors[i] = last_exception;
+        }
+    };
 
     std::vector<std::future<void>> futures;
     futures.reserve(jobs.size());
     {
         ThreadPool pool(workerCount());
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            futures.push_back(pool.submit([&, i] {
-                const PendingJob &job = jobs[i];
-                // Job-private config: only the seed differs between
-                // cells, so shared baselines stay valid.
-                SimConfig config = _base;
-                config.mem.dram.rngSeed = job.seed;
-                ExperimentRunner runner(config, cache);
-                const auto start = std::chrono::steady_clock::now();
-                per_job[i] = job.body(runner);
-                per_job_ms[i] =
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-                meter.onJobDone(job.label, per_job_ms[i]);
+            if (state[i] == kResumed)
+                continue;
+            futures.push_back(pool.submit([&supervise, i] {
+                supervise(i);
             }));
         }
         pool.wait();
     }
     meter.finish();
+    journal.close();
 
-    // Rethrow the first job failure (after every job drained, so the
-    // worker threads are quiesced and partial results are complete).
-    std::exception_ptr first_error;
-    for (std::future<void> &future : futures) {
-        try {
-            future.get();
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
-        }
+    // Supervision catches job errors itself; anything escaping to a
+    // future is an infrastructure bug — surface the first one.
+    for (std::future<void> &future : futures)
+        future.get();
+
+    // kPropagate: rethrow the first job failure in submission order,
+    // after every other job drained (legacy semantics).
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
 
     // Aggregate in submission order: deterministic regardless of the
     // completion schedule above.
@@ -140,11 +374,28 @@ SweepRunner::run()
     report.meta.jobs = workerCount();
     report.meta.elapsedSeconds = meter.elapsedSeconds();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        for (RunOutput &out : per_job[i]) {
-            report.store.append(
-                makeMetricsRow(out, jobs[i].variant, jobs[i].seed));
-            report.meta.wallMs.push_back(per_job_ms[i]);
-            report.outputs.push_back(std::move(out));
+        switch (state[i]) {
+        case kDone:
+            for (RunOutput &out : per_job[i]) {
+                report.store.append(makeMetricsRow(
+                    out, jobs[i].variant, jobs[i].seed));
+                report.meta.wallMs.push_back(per_job_ms[i]);
+                report.outputs.push_back(std::move(out));
+            }
+            break;
+        case kResumed:
+            for (const MetricsRow &row : resumed[i]->rows) {
+                report.store.append(row);
+                report.meta.wallMs.push_back(resumed[i]->wallMs);
+            }
+            ++report.meta.resumedJobs;
+            break;
+        case kFailed:
+            report.meta.failedCells.push_back(std::move(failed[i]));
+            break;
+        default:
+            report.interrupted = true;
+            break;
         }
     }
     return report;

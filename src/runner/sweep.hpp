@@ -11,15 +11,37 @@
  * bit-identical metric rows. Baseline runs are shared through a
  * thread-safe per-sweep cache: the first job needing a workload's
  * baseline computes it once, everyone else blocks on the same future.
+ *
+ * Fault tolerance (all opt-in through SweepOptions):
+ *  - checkpointPath journals every completed job (rows + counters,
+ *    fsync'd) through a CheckpointJournal; resume=true skips the
+ *    journaled jobs and merges their rows back so the final document
+ *    is byte-identical to an uninterrupted run's deterministic parts.
+ *  - cellTimeoutMs arms a per-attempt cooperative deadline (the
+ *    simulator polls it every few thousand instructions), retries
+ *    re-run throwing/timing-out cells with exponential backoff, and
+ *    cells that exhaust the budget are quarantined into
+ *    Report::meta.failedCells instead of aborting the sweep
+ *    (onError = kQuarantine; the default kPropagate keeps the legacy
+ *    rethrow-after-drain behavior).
+ *  - stopFlag is polled before each job starts and at simulator
+ *    cancellation points: once raised (signal handler, fault plan, or
+ *    test), in-flight jobs finish — or unwind at the next poll — and
+ *    are journaled, queued jobs are skipped, and run() returns an
+ *    interrupted, resumable report.
+ *  - faultPlan deterministically injects throw/hang/abort/stop faults
+ *    into worker jobs for the crash-safety tests.
  */
 
 #ifndef DOL_RUNNER_SWEEP_HPP
 #define DOL_RUNNER_SWEEP_HPP
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "runner/fault.hpp"
 #include "runner/result_store.hpp"
 #include "sim/experiment.hpp"
 #include "workloads/suite.hpp"
@@ -41,6 +63,38 @@ struct SweepOptions
     unsigned jobs = 0;
     /** Print the live progress line to stderr. */
     bool progress = true;
+
+    /** Journal completed jobs here; empty = no checkpointing. */
+    std::string checkpointPath;
+    /** Load checkpointPath first and skip the jobs it records. A
+     *  missing/empty journal resumes nothing; a journal written for a
+     *  different grid is an error. */
+    bool resume = false;
+
+    /** Per-attempt wall-clock budget in ms; 0 = none. Cooperative:
+     *  enforced at simulator cancellation points. */
+    double cellTimeoutMs = 0.0;
+    /** Extra attempts after the first for cells that throw or time
+     *  out. */
+    unsigned retries = 0;
+    /** Backoff before retry r is retryBackoffMs * 2^r. */
+    double retryBackoffMs = 100.0;
+
+    enum class OnError
+    {
+        /** Rethrow the first job error from run() after draining. */
+        kPropagate,
+        /** Complete the sweep; record the cell in failedCells. */
+        kQuarantine,
+    };
+    OnError onError = OnError::kPropagate;
+
+    /** Graceful-drain flag (e.g. &signalStopFlag()); may also be
+     *  raised by a stop@K fault. nullptr = sweep-private flag. */
+    std::atomic<bool> *stopFlag = nullptr;
+
+    /** Deterministic fault injection (tests); nullptr = none. */
+    const FaultPlan *faultPlan = nullptr;
 };
 
 /**
@@ -60,7 +114,10 @@ class SweepRunner
                          SweepOptions options = {});
 
     /** Replace the execution options (worker count, progress). */
-    void setOptions(SweepOptions options) { _options = options; }
+    void setOptions(SweepOptions options)
+    {
+        _options = std::move(options);
+    }
 
     /** One (workload, prefetcher) cell with optional run options. */
     void addCell(const WorkloadSpec &spec,
@@ -84,19 +141,34 @@ class SweepRunner
 
     struct Report
     {
-        /** Every job's outputs, flattened in submission order. */
+        /** Outputs of jobs executed this run, flattened in submission
+         *  order. Jobs merged from a checkpoint contribute metric
+         *  rows to `store` but no RunOutput (the journal keeps rows,
+         *  not full simulator state). */
         std::vector<RunOutput> outputs;
-        /** Flattened metric rows, same order. */
+        /** Flattened metric rows, grid order — executed and resumed
+         *  jobs alike. */
         ResultStore store;
-        /** Header/timing info for ResultStore::toJson(). */
+        /** Header/timing info for ResultStore::toJson(), including
+         *  failedCells and the resumed-job count. */
         SweepMeta meta;
+        /** A stop request drained the sweep early; the skipped jobs
+         *  are absent from `store` and the checkpoint can resume
+         *  them. */
+        bool interrupted = false;
+
+        bool ok() const
+        {
+            return !interrupted && meta.failedCells.empty();
+        }
     };
 
     /**
-     * Execute all queued jobs. Blocks until the sweep completes; an
-     * exception thrown by any job body is rethrown here (remaining
-     * jobs still drain first). The queue is consumed: a second run()
-     * starts empty.
+     * Execute all queued jobs. Blocks until the sweep completes or
+     * drains. In kPropagate mode an exception thrown by a job body
+     * (after retries) is rethrown here once every other job drained;
+     * in kQuarantine mode failures land in meta.failedCells instead.
+     * The queue is consumed: a second run() starts empty.
      */
     Report run();
 
@@ -113,6 +185,10 @@ class SweepRunner
         std::uint64_t seed;
         JobBody body;
     };
+
+    /** FNV-1a over every pending job's (label, variant, seed):
+     *  identifies the grid a checkpoint belongs to. */
+    std::uint64_t gridHash(const std::vector<PendingJob> &jobs) const;
 
     SimConfig _base;
     SweepOptions _options;

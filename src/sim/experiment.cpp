@@ -88,6 +88,15 @@ BaselineCache::get(
         try {
             promise.set_value(compute());
         } catch (...) {
+            // Don't memoize the failure: evict the entry (it is ours —
+            // only the owner inserts, nothing else erases) so a retry
+            // of the job recomputes instead of replaying the cached
+            // exception forever. Waiters already holding copies of
+            // the shared future still observe this exception once.
+            {
+                std::lock_guard lock(_mutex);
+                _futures.erase(key);
+            }
             promise.set_exception(std::current_exception());
         }
     }
@@ -145,7 +154,7 @@ ExperimentRunner::run(const WorkloadSpec &spec,
     if (counting)
         sim.setTraceContext(&trace_ctx);
 
-    sim.run();
+    sim.run(_cancel);
 
     RunOutput out;
     if (counting) {

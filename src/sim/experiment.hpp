@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "metrics/accounting.hpp"
 #include "metrics/stratify.hpp"
 #include "sim/simulator.hpp"
@@ -149,6 +150,18 @@ class ExperimentRunner
                   const std::string &prefetcher_name,
                   const RunOptions &options = {});
 
+    /**
+     * Cooperative cancellation for the measured run (borrowed; may be
+     * null). Applied to the measured simulation only — deliberately
+     * not to baseline computation, whose result is memoized in a
+     * cache shared across jobs: cancelling a shared computation would
+     * poison every waiter, not just the attempt that timed out.
+     */
+    void setCancelToken(const CancelToken *cancel)
+    {
+        _cancel = cancel;
+    }
+
     const SimConfig &config() const { return _config; }
 
   private:
@@ -157,6 +170,7 @@ class ExperimentRunner
     SimConfig _config;
     std::shared_ptr<BaselineCache> _shared;
     std::unordered_map<std::string, Baseline> _baselines;
+    const CancelToken *_cancel = nullptr;
 };
 
 /**

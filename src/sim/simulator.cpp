@@ -88,9 +88,15 @@ Simulator::step()
 }
 
 void
-Simulator::run()
+Simulator::run(const CancelToken *cancel)
 {
     while (_instrs < _config.maxInstrs && step()) {
+        // Poll coarsely: a deadline check costs a clock read, so do
+        // it once per 4096 instructions, not per step.
+        if (cancel && (_instrs & 0xFFF) == 0 && cancel->cancelled())
+            throw CancelledError("simulation cancelled after " +
+                                 std::to_string(_instrs) +
+                                 " instructions");
     }
 }
 

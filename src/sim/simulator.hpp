@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/ring_buffer.hpp"
 #include "cpu/core.hpp"
 #include "mem/memory_system.hpp"
@@ -57,8 +58,15 @@ class Simulator
     PrefetchAccounting &accounting() { return _accounting; }
     PrefetchEmitter &emitter() { return _emitter; }
 
-    /** Run until the instruction budget is exhausted. */
-    void run();
+    /**
+     * Run until the instruction budget is exhausted. A cancel token
+     * (borrowed; may be null) is polled every few thousand
+     * instructions: once it reports cancelled, run() throws
+     * CancelledError, leaving the sim in a consistent but incomplete
+     * state. This is the cooperative cancellation point the runner's
+     * per-cell timeout relies on.
+     */
+    void run(const CancelToken *cancel = nullptr);
 
     /** Execute one instruction; false when the kernel is done. */
     bool step();

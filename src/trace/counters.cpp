@@ -27,6 +27,17 @@ CounterRegistry::sorted() const
     return out;
 }
 
+std::vector<std::tuple<std::string, std::string, std::uint64_t>>
+CounterRegistry::entries() const
+{
+    std::vector<std::tuple<std::string, std::string, std::uint64_t>>
+        out;
+    out.reserve(_index.size());
+    for (const auto &[key, h] : _index)
+        out.emplace_back(key.first, key.second, _values[h]);
+    return out;
+}
+
 std::string
 CounterRegistry::toText() const
 {

@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -67,6 +68,12 @@ class CounterRegistry
 
     /** All counters, sorted by (scope, name), flattened "scope.name". */
     std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+    /** All counters as (scope, name, value), sorted by (scope, name).
+     *  Unlike sorted(), keeps the two key parts separate so a registry
+     *  can be reconstructed exactly (checkpoint journal round trip). */
+    std::vector<std::tuple<std::string, std::string, std::uint64_t>>
+    entries() const;
 
     /** One "scope.name value\n" line per counter, sorted. */
     std::string toText() const;

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Fault-tolerance tests: checkpoint journal round trips and torn-tail
+ * recovery, kill-and-resume byte equality (fork + abort fault, so the
+ * "crash" is a real process death with no unwinding), per-cell
+ * timeout/retry/quarantine supervision, graceful drain, and the
+ * golden-trace cells resumed across a crash.
+ *
+ * Every fault point is a deterministic function of a FaultPlan spec
+ * and the grid order, so each scenario replays bit-identically.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "runner/checkpoint.hpp"
+#include "runner/fault.hpp"
+#include "runner/progress.hpp"
+#include "runner/sweep.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/suite.hpp"
+
+namespace
+{
+
+using namespace dol;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<std::uint64_t>(in.tellg()) : 0;
+}
+
+// ---------------------------------------------------------------------
+// Journal format
+// ---------------------------------------------------------------------
+
+runner::JournalPlan
+samplePlan()
+{
+    runner::JournalPlan plan;
+    plan.itemCount = 3;
+    plan.gridHash = 0xdeadbeefcafef00dull;
+    plan.maxInstrs = 123456789ull;
+    return plan;
+}
+
+runner::JournalJobDone
+sampleJob()
+{
+    runner::JournalJobDone rec;
+    rec.jobIndex = 1;
+    rec.label = "TPC/libquantum.syn:l1";
+    rec.variant = ":l1";
+    // Full-64-bit values: a double (JSON number) round trip would
+    // corrupt these — the binary journal must not.
+    rec.seed = 0xffffffffffffff01ull;
+    rec.wallMs = 12.75;
+
+    runner::MetricsRow row;
+    row.workload = "libquantum.syn";
+    row.prefetcher = "TPC";
+    row.variant = ":l1";
+    row.seed = 0x8000000000000001ull;
+    row.baselineIpc = 0.12345678901234567;
+    row.ipc = 1.5;
+    row.speedup = row.ipc / row.baselineIpc;
+    row.baselineMpkiL1 = 33.25;
+    row.prefetchesIssued = (1ull << 53) + 1; // not a double
+    row.scope = 0.875;
+    row.effAccuracyL1 = 0.5;
+    row.effCoverageL1 = 0.25;
+    row.effAccuracyL2 = -0.125;
+    row.effCoverageL2 = 0.0625;
+    row.trafficNormalized = 1.03125;
+    row.instructions = 987654321ull;
+    row.counters.set("t2", "streams", 42);
+    row.counters.set("core", "cycles", (1ull << 62) + 7);
+    row.counters.set("trace", "bytes_fnv64", 0xabcdef0123456789ull);
+    rec.rows.push_back(std::move(row));
+    return rec;
+}
+
+void
+expectJobEqual(const runner::JournalJobDone &actual,
+               const runner::JournalJobDone &expected)
+{
+    EXPECT_EQ(actual.jobIndex, expected.jobIndex);
+    EXPECT_EQ(actual.label, expected.label);
+    EXPECT_EQ(actual.variant, expected.variant);
+    EXPECT_EQ(actual.seed, expected.seed);
+    EXPECT_EQ(actual.wallMs, expected.wallMs);
+    ASSERT_EQ(actual.rows.size(), expected.rows.size());
+    for (std::size_t i = 0; i < actual.rows.size(); ++i) {
+        const runner::MetricsRow &a = actual.rows[i];
+        const runner::MetricsRow &e = expected.rows[i];
+        EXPECT_EQ(a.workload, e.workload);
+        EXPECT_EQ(a.prefetcher, e.prefetcher);
+        EXPECT_EQ(a.variant, e.variant);
+        EXPECT_EQ(a.seed, e.seed);
+        EXPECT_EQ(a.baselineIpc, e.baselineIpc); // bit-exact, not near
+        EXPECT_EQ(a.ipc, e.ipc);
+        EXPECT_EQ(a.speedup, e.speedup);
+        EXPECT_EQ(a.baselineMpkiL1, e.baselineMpkiL1);
+        EXPECT_EQ(a.prefetchesIssued, e.prefetchesIssued);
+        EXPECT_EQ(a.scope, e.scope);
+        EXPECT_EQ(a.effAccuracyL1, e.effAccuracyL1);
+        EXPECT_EQ(a.effCoverageL1, e.effCoverageL1);
+        EXPECT_EQ(a.effAccuracyL2, e.effAccuracyL2);
+        EXPECT_EQ(a.effCoverageL2, e.effCoverageL2);
+        EXPECT_EQ(a.trafficNormalized, e.trafficNormalized);
+        EXPECT_EQ(a.instructions, e.instructions);
+        EXPECT_EQ(a.counters.entries(), e.counters.entries());
+        EXPECT_EQ(a.counters.toText(), e.counters.toText());
+    }
+}
+
+TEST(CheckpointJournal, RoundTripsPlanJobsAndCases)
+{
+    const std::string path = tempPath("ckpt_roundtrip.bin");
+    std::remove(path.c_str());
+
+    const runner::JournalPlan plan = samplePlan();
+    const runner::JournalJobDone rec = sampleJob();
+    {
+        runner::CheckpointJournal journal;
+        std::string error;
+        ASSERT_TRUE(journal.create(path, plan, &error)) << error;
+        ASSERT_TRUE(journal.appendJobDone(rec));
+        ASSERT_TRUE(journal.appendCaseDone(7));
+        ASSERT_TRUE(journal.appendCaseDone(0));
+    }
+
+    const auto loaded = runner::CheckpointJournal::load(path);
+    EXPECT_TRUE(loaded.fileExists);
+    EXPECT_TRUE(loaded.valid) << loaded.error;
+    EXPECT_TRUE(loaded.cleanTail);
+    EXPECT_EQ(loaded.goodBytes, fileSize(path));
+    ASSERT_TRUE(loaded.plan.has_value());
+    EXPECT_TRUE(*loaded.plan == plan);
+    ASSERT_EQ(loaded.jobs.size(), 1u);
+    expectJobEqual(loaded.jobs[0], rec);
+    ASSERT_EQ(loaded.cases.size(), 2u);
+    EXPECT_EQ(loaded.cases[0], 7u);
+    EXPECT_EQ(loaded.cases[1], 0u);
+}
+
+TEST(CheckpointJournal, MissingFileAndGarbageFile)
+{
+    const auto missing =
+        runner::CheckpointJournal::load(tempPath("ckpt_missing.bin"));
+    EXPECT_FALSE(missing.fileExists);
+    EXPECT_FALSE(missing.valid);
+
+    const std::string path = tempPath("ckpt_garbage.bin");
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "definitely not a checkpoint journal";
+    }
+    const auto garbage = runner::CheckpointJournal::load(path);
+    EXPECT_TRUE(garbage.fileExists);
+    EXPECT_FALSE(garbage.valid);
+    EXPECT_FALSE(garbage.error.empty());
+}
+
+TEST(CheckpointJournal, TornTailIsDroppedAndTruncatedOnResume)
+{
+    const std::string path = tempPath("ckpt_torn.bin");
+    std::remove(path.c_str());
+
+    const runner::JournalPlan plan = samplePlan();
+    const runner::JournalJobDone rec = sampleJob();
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.create(path, plan));
+        ASSERT_TRUE(journal.appendJobDone(rec));
+    }
+    const std::uint64_t clean_bytes = fileSize(path);
+
+    // A crash mid-append leaves a torn tail: simulate with garbage.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "\x02torn";
+    }
+    auto loaded = runner::CheckpointJournal::load(path);
+    EXPECT_TRUE(loaded.valid);
+    EXPECT_FALSE(loaded.cleanTail);
+    EXPECT_EQ(loaded.goodBytes, clean_bytes);
+    ASSERT_EQ(loaded.jobs.size(), 1u); // prior record survives
+    expectJobEqual(loaded.jobs[0], rec);
+
+    // Resume truncates the tail before appending; the journal is
+    // whole again afterwards.
+    {
+        runner::CheckpointJournal journal;
+        std::string error;
+        ASSERT_TRUE(
+            journal.openAppend(path, loaded.goodBytes, &error))
+            << error;
+        ASSERT_TRUE(journal.appendCaseDone(5));
+    }
+    loaded = runner::CheckpointJournal::load(path);
+    EXPECT_TRUE(loaded.valid);
+    EXPECT_TRUE(loaded.cleanTail);
+    ASSERT_EQ(loaded.jobs.size(), 1u);
+    ASSERT_EQ(loaded.cases.size(), 1u);
+    EXPECT_EQ(loaded.cases[0], 5u);
+}
+
+TEST(CheckpointJournal, TruncatedMidRecordKeepsPriorRecords)
+{
+    const std::string path = tempPath("ckpt_chopped.bin");
+    std::remove(path.c_str());
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.create(path, samplePlan()));
+        ASSERT_TRUE(journal.appendCaseDone(1));
+        ASSERT_TRUE(journal.appendCaseDone(2));
+    }
+    const std::uint64_t full = fileSize(path);
+    // Chop into the last record (its 8-byte payload sits at the end).
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    ASSERT_EQ(bytes.size(), full);
+    bytes.resize(bytes.size() - 3);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    const auto loaded = runner::CheckpointJournal::load(path);
+    EXPECT_TRUE(loaded.valid);
+    EXPECT_FALSE(loaded.cleanTail);
+    ASSERT_EQ(loaded.cases.size(), 1u);
+    EXPECT_EQ(loaded.cases[0], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Sweep supervision: crash, resume, retry, timeout, quarantine, drain
+// ---------------------------------------------------------------------
+
+/** 4-cell grid (2 workloads x 2 prefetchers), small budget. */
+runner::SweepRunner
+makeGridSweep(runner::SweepOptions options)
+{
+    SimConfig config;
+    config.maxInstrs = 4000;
+    options.progress = false;
+    runner::SweepRunner sweep(config, std::move(options));
+    sweep.addGrid(
+        {findWorkload("libquantum.syn"), findWorkload("mcf.syn")},
+        {"TPC", "SPP"});
+    return sweep;
+}
+
+/**
+ * Run @p body in a forked child (gtest's process is single-threaded
+ * here, so fork without exec is safe) and return its wait status. The
+ * abort fault _Exit()s the child exactly like SIGKILL would — nothing
+ * is flushed, nothing unwinds.
+ */
+template <typename Body>
+int
+runInChild(Body body)
+{
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        body();
+        std::_Exit(0);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return status;
+}
+
+TEST(FaultTolerance, ResumeAfterCrashMatchesUninterruptedByteForByte)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+
+        runner::SweepOptions base_options;
+        base_options.jobs = jobs;
+        auto baseline_sweep = makeGridSweep(base_options);
+        const auto baseline = baseline_sweep.run();
+        const std::string baseline_results =
+            baseline.store.resultsJson();
+        const std::string baseline_csv = baseline.store.toCsv();
+
+        const std::string ckpt =
+            tempPath("ckpt_crash_j" + std::to_string(jobs) + ".bin");
+        std::remove(ckpt.c_str());
+
+        runner::FaultPlan plan;
+        ASSERT_TRUE(runner::FaultPlan::parse("abort@2", plan));
+
+        const int status = runInChild([&] {
+            runner::SweepOptions options;
+            options.jobs = jobs;
+            options.checkpointPath = ckpt;
+            options.faultPlan = &plan;
+            auto sweep = makeGridSweep(options);
+            (void)sweep.run(); // dies at cell 2
+        });
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 137);
+
+        runner::SweepOptions resume_options;
+        resume_options.jobs = jobs;
+        resume_options.checkpointPath = ckpt;
+        resume_options.resume = true;
+        auto resumed_sweep = makeGridSweep(resume_options);
+        const auto resumed = resumed_sweep.run();
+
+        EXPECT_FALSE(resumed.interrupted);
+        EXPECT_TRUE(resumed.meta.failedCells.empty());
+        if (jobs == 1) {
+            // Sequential: cells 0 and 1 journaled before the crash.
+            EXPECT_EQ(resumed.meta.resumedJobs, 2u);
+        }
+        EXPECT_EQ(resumed.store.resultsJson(), baseline_results);
+        EXPECT_EQ(resumed.store.toCsv(), baseline_csv);
+    }
+}
+
+TEST(FaultTolerance, FaultIndexDerivedFromSeedIsDeterministic)
+{
+    // SplitMix64 step: the kill point is a pure function of the seed,
+    // so this scenario replays bit-identically from "seed 0xD01".
+    std::uint64_t z = 0xD01 + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    const std::size_t kill_cell = static_cast<std::size_t>(
+        (z ^ (z >> 31)) % 3 + 1); // in [1, 3]: never the first cell
+
+    auto baseline_sweep = makeGridSweep({});
+    const std::string baseline_results =
+        baseline_sweep.run().store.resultsJson();
+
+    const std::string ckpt = tempPath("ckpt_seeded.bin");
+    std::remove(ckpt.c_str());
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse(
+        "abort@" + std::to_string(kill_cell), plan));
+
+    const int status = runInChild([&] {
+        runner::SweepOptions options;
+        options.jobs = 1;
+        options.checkpointPath = ckpt;
+        options.faultPlan = &plan;
+        auto sweep = makeGridSweep(options);
+        (void)sweep.run();
+    });
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 137);
+
+    const auto loaded = runner::CheckpointJournal::load(ckpt);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_EQ(loaded.jobs.size(), kill_cell); // cells [0, kill_cell)
+
+    runner::SweepOptions resume_options;
+    resume_options.jobs = 1;
+    resume_options.checkpointPath = ckpt;
+    resume_options.resume = true;
+    auto resumed_sweep = makeGridSweep(resume_options);
+    const auto resumed = resumed_sweep.run();
+    EXPECT_EQ(resumed.meta.resumedJobs, kill_cell);
+    EXPECT_EQ(resumed.store.resultsJson(), baseline_results);
+}
+
+TEST(FaultTolerance, ResumeRefusesMismatchedGrid)
+{
+    const std::string ckpt = tempPath("ckpt_mismatch.bin");
+    std::remove(ckpt.c_str());
+    {
+        runner::SweepOptions options;
+        options.checkpointPath = ckpt;
+        auto sweep = makeGridSweep(options);
+        (void)sweep.run();
+    }
+    // Same checkpoint, different grid: must refuse, not merge.
+    SimConfig config;
+    config.maxInstrs = 4000;
+    runner::SweepOptions options;
+    options.progress = false;
+    options.checkpointPath = ckpt;
+    options.resume = true;
+    runner::SweepRunner sweep(config, options);
+    sweep.addGrid({findWorkload("libquantum.syn")}, {"TPC"});
+    EXPECT_THROW((void)sweep.run(), std::runtime_error);
+}
+
+TEST(FaultTolerance, RetrySucceedsAfterTransientFault)
+{
+    // throw@1:1 fails the first attempt of cell 1 only; with one
+    // retry the sweep completes with no failed cells.
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("throw@1:1", plan));
+    runner::SweepOptions options;
+    options.retries = 1;
+    options.retryBackoffMs = 1.0;
+    options.faultPlan = &plan;
+    auto sweep = makeGridSweep(options);
+    const auto report = sweep.run();
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_TRUE(report.meta.failedCells.empty());
+    EXPECT_EQ(report.store.rows().size(), 4u);
+}
+
+TEST(FaultTolerance, ExhaustedRetriesQuarantineTheCell)
+{
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("throw@1", plan));
+    runner::SweepOptions options;
+    options.retries = 2;
+    options.retryBackoffMs = 1.0;
+    options.onError = runner::SweepOptions::OnError::kQuarantine;
+    options.faultPlan = &plan;
+    auto sweep = makeGridSweep(options);
+    const auto report = sweep.run();
+
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(report.store.rows().size(), 3u); // sweep completed
+    ASSERT_EQ(report.meta.failedCells.size(), 1u);
+    const runner::FailedCell &cell = report.meta.failedCells[0];
+    EXPECT_EQ(cell.label, "SPP/libquantum.syn");
+    EXPECT_EQ(cell.attempts, 3u); // first run + 2 retries
+    EXPECT_EQ(cell.kind, "error");
+    EXPECT_NE(cell.error.find("injected fault"), std::string::npos);
+
+    // The quarantine surfaces in the document's failed_cells section.
+    const std::string json = report.store.toJson(report.meta);
+    EXPECT_NE(json.find("\"failed_cells\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"SPP/libquantum.syn\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"error\""), std::string::npos);
+}
+
+TEST(FaultTolerance, CleanRunDocumentHasNoFailedCellsSection)
+{
+    auto sweep = makeGridSweep({});
+    const auto report = sweep.run();
+    const std::string json = report.store.toJson(report.meta);
+    EXPECT_EQ(json.find("failed_cells"), std::string::npos);
+}
+
+TEST(FaultTolerance, HangingCellTimesOutAndIsQuarantined)
+{
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("hang@1", plan));
+    runner::SweepOptions options;
+    options.cellTimeoutMs = 150.0;
+    options.onError = runner::SweepOptions::OnError::kQuarantine;
+    options.faultPlan = &plan;
+    auto sweep = makeGridSweep(options);
+    const auto report = sweep.run();
+
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(report.store.rows().size(), 3u);
+    ASSERT_EQ(report.meta.failedCells.size(), 1u);
+    EXPECT_EQ(report.meta.failedCells[0].kind, "timeout");
+    EXPECT_EQ(report.meta.failedCells[0].attempts, 1u);
+}
+
+TEST(FaultTolerance, PropagateModeRethrowsInjectedFault)
+{
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("throw@0", plan));
+    runner::SweepOptions options;
+    options.faultPlan = &plan; // default OnError::kPropagate
+    auto sweep = makeGridSweep(options);
+    EXPECT_THROW((void)sweep.run(), std::runtime_error);
+}
+
+TEST(FaultTolerance, StopFaultDrainsAndResumeCompletes)
+{
+    auto baseline_sweep = makeGridSweep({});
+    const std::string baseline_results =
+        baseline_sweep.run().store.resultsJson();
+
+    const std::string ckpt = tempPath("ckpt_drain.bin");
+    std::remove(ckpt.c_str());
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("stop@1", plan));
+
+    runner::SweepOptions options;
+    options.jobs = 1;
+    options.checkpointPath = ckpt;
+    options.faultPlan = &plan;
+    auto sweep = makeGridSweep(options);
+    const auto drained = sweep.run();
+
+    // The stop fault models SIGTERM as cell 1 starts: cell 1 (in
+    // flight) finishes and journals, cells 2..3 are skipped.
+    EXPECT_TRUE(drained.interrupted);
+    EXPECT_EQ(drained.store.rows().size(), 2u);
+    const auto loaded = runner::CheckpointJournal::load(ckpt);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_EQ(loaded.jobs.size(), 2u);
+
+    runner::SweepOptions resume_options;
+    resume_options.jobs = 1;
+    resume_options.checkpointPath = ckpt;
+    resume_options.resume = true;
+    auto resumed_sweep = makeGridSweep(resume_options);
+    const auto resumed = resumed_sweep.run();
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.meta.resumedJobs, 2u);
+    EXPECT_EQ(resumed.store.resultsJson(), baseline_results);
+}
+
+TEST(FaultTolerance, ExternalStopFlagSkipsQueuedJobs)
+{
+    std::atomic<bool> stop{true}; // raised before the sweep starts
+    runner::SweepOptions options;
+    options.jobs = 1;
+    options.stopFlag = &stop;
+    auto sweep = makeGridSweep(options);
+    const auto report = sweep.run();
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_TRUE(report.store.rows().empty());
+    EXPECT_TRUE(report.outputs.empty());
+}
+
+// ---------------------------------------------------------------------
+// Golden-trace cells across a kill + resume
+// ---------------------------------------------------------------------
+
+struct GoldenCell
+{
+    const char *workload;
+    const char *prefetcher;
+};
+
+/** Same cells and budget as test_golden_trace.cpp. */
+constexpr std::uint64_t kGoldenInstrs = 20000;
+const GoldenCell kGoldenCells[] = {
+    {"libquantum.syn", "TPC"}, {"mcf.syn", "TPC"},
+    {"omnetpp.syn", "TPC"},    {"bfs.syn", "TPC"},
+    {"libquantum.syn", "SPP"},
+};
+
+std::string
+goldenTracePath(const GoldenCell &cell)
+{
+    return tempPath(std::string("ckpt_golden.") + cell.workload + "." +
+                    cell.prefetcher + ".trc");
+}
+
+runner::SweepRunner
+makeGoldenSweep(runner::SweepOptions options)
+{
+    SimConfig config;
+    config.maxInstrs = kGoldenInstrs;
+    options.jobs = 1;
+    options.progress = false;
+    runner::SweepRunner sweep(config, std::move(options));
+    for (const GoldenCell &cell : kGoldenCells) {
+        RunOptions run_options;
+        run_options.collectCounters = true;
+        run_options.tracePath = goldenTracePath(cell);
+        sweep.addCell(findWorkload(cell.workload), cell.prefetcher,
+                      std::move(run_options));
+    }
+    return sweep;
+}
+
+std::uint64_t
+counterValue(const runner::MetricsRow &row, const std::string &scope,
+             const std::string &name, bool &found)
+{
+    for (const auto &[s, n, value] : row.counters.entries()) {
+        if (s == scope && n == name) {
+            found = true;
+            return value;
+        }
+    }
+    found = false;
+    return 0;
+}
+
+TEST(FaultTolerance, GoldenCellsSurviveKillAndResume)
+{
+    // Kill a traced 5-cell sweep after cell 2 (cells 0-2 journaled,
+    // their DOLTRC01 files already closed), resume, and hold the
+    // merged result to the same bar as an uninterrupted run: every
+    // per-cell counter snapshot must match tests/golden byte for
+    // byte, and every trace file's recomputed digest must match the
+    // trace.bytes_fnv64 its cell recorded.
+    for (const GoldenCell &cell : kGoldenCells)
+        std::remove(goldenTracePath(cell).c_str());
+    const std::string ckpt = tempPath("ckpt_golden.bin");
+    std::remove(ckpt.c_str());
+
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("abort@3", plan));
+    const int status = runInChild([&] {
+        runner::SweepOptions options;
+        options.checkpointPath = ckpt;
+        options.faultPlan = &plan;
+        auto sweep = makeGoldenSweep(options);
+        (void)sweep.run();
+    });
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137);
+    {
+        const auto loaded = runner::CheckpointJournal::load(ckpt);
+        ASSERT_TRUE(loaded.valid);
+        ASSERT_EQ(loaded.jobs.size(), 3u);
+    }
+
+    runner::SweepOptions resume_options;
+    resume_options.checkpointPath = ckpt;
+    resume_options.resume = true;
+    auto sweep = makeGoldenSweep(resume_options);
+    const auto report = sweep.run();
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(report.meta.resumedJobs, 3u);
+    const auto rows = report.store.rows();
+    ASSERT_EQ(rows.size(), 5u);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const GoldenCell &cell = kGoldenCells[i];
+        SCOPED_TRACE(std::string(cell.workload) + "/" +
+                     cell.prefetcher);
+
+        // Counter snapshot, exactly as test_golden_trace renders it.
+        std::string fresh = "dol-golden-v1 ";
+        fresh += cell.workload;
+        fresh += ' ';
+        fresh += cell.prefetcher;
+        fresh += " instrs=" + std::to_string(kGoldenInstrs) + "\n";
+        fresh += rows[i].counters.toText();
+
+        const std::string golden_path = std::string(DOL_GOLDEN_DIR) +
+                                        "/" + cell.workload + "." +
+                                        cell.prefetcher + ".golden";
+        std::ifstream in(golden_path, std::ios::binary);
+        ASSERT_TRUE(in.good()) << "missing " << golden_path;
+        std::ostringstream golden;
+        golden << in.rdbuf();
+        EXPECT_EQ(golden.str(), fresh);
+
+        // Trace file digest: recompute FNV-1a over the record bytes
+        // (after the 16-byte header) and compare with the counter the
+        // cell recorded before the kill / after the resume.
+        std::ifstream trc(goldenTracePath(cell), std::ios::binary);
+        ASSERT_TRUE(trc.good()) << "missing trace for cell " << i;
+        std::ostringstream trace_bytes;
+        trace_bytes << trc.rdbuf();
+        const std::string &bytes = trace_bytes.str();
+        ASSERT_GT(bytes.size(), kTraceHeaderBytes);
+        const std::uint64_t digest =
+            fnv64(bytes.data() + kTraceHeaderBytes,
+                  bytes.size() - kTraceHeaderBytes);
+        bool found = false;
+        const std::uint64_t recorded =
+            counterValue(rows[i], "trace", "bytes_fnv64", found);
+        ASSERT_TRUE(found);
+        EXPECT_EQ(digest, recorded);
+    }
+    for (const GoldenCell &cell : kGoldenCells)
+        std::remove(goldenTracePath(cell).c_str());
+}
+
+} // namespace

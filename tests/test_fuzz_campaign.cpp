@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "check/campaign.hpp"
 #include "check/fuzz_workload.hpp"
@@ -87,6 +89,107 @@ TEST(FuzzCampaign, ReproducerFileReplaysTheFailure)
     const DiffResult replay = checkTrace(records, config);
     EXPECT_FALSE(replay.ok);
     EXPECT_EQ(replay.check, failure.diff.check);
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Replace every occurrence of @p dir with a placeholder so summaries
+ *  from campaigns using different reproducer dirs compare equal. */
+std::string
+normalizeDirs(std::string text, const std::string &dir)
+{
+    for (std::size_t pos = text.find(dir); pos != std::string::npos;
+         pos = text.find(dir))
+        text.replace(pos, dir.size(), "<repro>");
+    return text;
+}
+
+TEST(FuzzCampaign, CleanCampaignInterruptAndResumeMatchesBaseline)
+{
+    const std::string work = scratchDir("resume-clean");
+    std::filesystem::create_directories(work);
+
+    CampaignOptions options;
+    options.cases = 200;
+    options.seed = 1; // clean: every case passes, so all journal
+    options.jobs = 2;
+    options.reproDir = work + "/repro";
+    options.checkpointPath = work + "/campaign.ckpt";
+
+    // Drain after ~60 completions (the test hook stands in for
+    // SIGINT): the run must report interrupted, not complete.
+    options.stopAfterCases = 60;
+    const CampaignReport cut = runCampaign(options);
+    EXPECT_TRUE(cut.interrupted);
+    EXPECT_FALSE(cut.ok());
+    EXPECT_GE(cut.casesRun, 60u);
+    EXPECT_LT(cut.casesRun, options.cases);
+
+    // Resume: journaled passes are skipped, the rest execute, and the
+    // final report is byte-identical to an uninterrupted campaign.
+    options.stopAfterCases = 0;
+    options.resume = true;
+    const CampaignReport resumed = runCampaign(options);
+    EXPECT_TRUE(resumed.ok()) << resumed.summaryText();
+    EXPECT_EQ(resumed.casesResumed, cut.casesRun);
+    EXPECT_EQ(resumed.casesRun + resumed.casesResumed, options.cases);
+    EXPECT_EQ(resumed.summaryText(),
+              "fuzz campaign: 200 cases, seed 1, 0 failures\n");
+}
+
+TEST(FuzzCampaign, InterruptedMutationCampaignResumesToBaseline)
+{
+    // Uninterrupted baseline, including shrunk reproducer files.
+    CampaignOptions base;
+    base.cases = 6;
+    base.seed = 7;
+    base.jobs = 1;
+    base.mutation = Mutation::kLruVictimOffByOne;
+    base.maxShrinkEvaluations = 300;
+    base.reproDir = scratchDir("resume-mut-base");
+    const CampaignReport baseline = runCampaign(base);
+    EXPECT_FALSE(baseline.interrupted);
+    ASSERT_FALSE(baseline.failures.empty());
+
+    // The same campaign drained after 3 cases, then resumed. Failures
+    // are never journaled, so the resumed run re-executes them and
+    // regenerates identical diffs and reproducers.
+    const std::string work = scratchDir("resume-mut-cut");
+    std::filesystem::create_directories(work);
+    CampaignOptions options = base;
+    options.reproDir = work + "/repro";
+    options.checkpointPath = work + "/campaign.ckpt";
+    options.stopAfterCases = 3;
+    const CampaignReport cut = runCampaign(options);
+    EXPECT_TRUE(cut.interrupted);
+    EXPECT_LT(cut.casesRun, options.cases);
+
+    options.stopAfterCases = 0;
+    options.resume = true;
+    const CampaignReport resumed = runCampaign(options);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(normalizeDirs(resumed.summaryText(), options.reproDir),
+              normalizeDirs(baseline.summaryText(), base.reproDir));
+
+    ASSERT_EQ(resumed.failures.size(), baseline.failures.size());
+    for (std::size_t i = 0; i < baseline.failures.size(); ++i) {
+        const CaseFailure &want = baseline.failures[i];
+        const CaseFailure &got = resumed.failures[i];
+        EXPECT_EQ(got.index, want.index);
+        EXPECT_EQ(got.caseSeed, want.caseSeed);
+        ASSERT_FALSE(got.reproPath.empty());
+        EXPECT_EQ(readFileBytes(got.reproPath),
+                  readFileBytes(want.reproPath))
+            << "reproducer for case " << want.index
+            << " differs after resume";
+    }
 }
 
 /**

@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "runner/json_reader.hpp"
+#include "runner/progress.hpp"
 #include "runner/json_writer.hpp"
 #include "runner/result_store.hpp"
 #include "runner/sweep.hpp"
@@ -177,6 +178,34 @@ TEST(SweepRunner, JobExceptionPropagatesAfterDraining)
     EXPECT_THROW(sweep.run(), std::runtime_error);
     // Every non-failing job still ran to completion.
     EXPECT_EQ(completed.load(), 2);
+}
+
+// ------------------------------------------------------------ progress
+
+TEST(Progress, EtaExtrapolatesFromExecutedJobs)
+{
+    // 2 executed in 10s -> 5s per job, 4 remaining -> 20s.
+    EXPECT_DOUBLE_EQ(etaSeconds(2, 0, 6, 10.0), 20.0);
+    // Skipped (checkpoint-merged) jobs shrink the remaining count but
+    // never feed the rate: 2 executed + 2 merged of 6 leaves 2 cells
+    // at 5s per executed job.
+    EXPECT_DOUBLE_EQ(etaSeconds(2, 2, 6, 10.0), 10.0);
+}
+
+TEST(Progress, EtaDegenerateSweepsReportZero)
+{
+    // Nothing executed yet: no rate to extrapolate from.
+    EXPECT_DOUBLE_EQ(etaSeconds(0, 0, 6, 10.0), 0.0);
+    // Resume of a finished sweep: every cell merged from the journal.
+    EXPECT_DOUBLE_EQ(etaSeconds(0, 6, 6, 10.0), 0.0);
+    // Sweep complete.
+    EXPECT_DOUBLE_EQ(etaSeconds(6, 0, 6, 10.0), 0.0);
+    // Counters overran the total (done + skipped > total) must not
+    // underflow the remaining count into a huge unsigned value.
+    EXPECT_DOUBLE_EQ(etaSeconds(5, 3, 6, 10.0), 0.0);
+    // Empty sweep and negative clock skew.
+    EXPECT_DOUBLE_EQ(etaSeconds(0, 0, 0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(etaSeconds(2, 0, 6, -1.0), 0.0);
 }
 
 TEST(BaselineCache, ComputesEachWorkloadOnce)

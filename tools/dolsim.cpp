@@ -19,13 +19,17 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#include <csignal>
 
 #include "check/campaign.hpp"
 #include "common/log.hpp"
 #include "metrics/table.hpp"
 #include "runner/cli.hpp"
+#include "runner/fault.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -64,6 +68,14 @@ struct Options
     std::string fuzzReplay; ///< shrunk reproducer trace to re-check
     std::uint64_t fuzzCaseSeed = 0;
     bool fuzzCaseSeedSet = false;
+
+    // Fault tolerance (README "Fault tolerance").
+    std::string checkpoint; ///< journal completed cells here
+    bool resume = false; ///< skip cells the journal records
+    std::uint64_t cellTimeoutMs = 0; ///< per-attempt budget; 0 = none
+    std::uint64_t retries = 0; ///< extra attempts per failing cell
+    std::uint64_t retryBackoffMs = 100;
+    std::string faultPlanSpec; ///< deterministic fault injection
 };
 
 void
@@ -104,8 +116,24 @@ usage()
         "(with --fuzz-case-seed)\n"
         "  --fuzz-case-seed S         case seed from the "
         "reproducer's sidecar\n"
+        "  --checkpoint FILE          journal completed cells to FILE "
+        "(crash-safe)\n"
+        "  --resume                   skip cells FILE already "
+        "journaled\n"
+        "  --cell-timeout MS          per-attempt wall-clock budget "
+        "per cell\n"
+        "  --retries N                re-run failing/timed-out cells "
+        "up to N times\n"
+        "  --retry-backoff-ms MS      first-retry backoff, doubled "
+        "per retry (default 100)\n"
+        "  --fault-plan SPEC          inject faults: "
+        "throw|hang|abort|stop@CELL[:TIMES],...\n"
         "  --csv                      machine-readable output\n"
-        "  --quiet                    no progress line on stderr\n");
+        "  --quiet                    no progress line on stderr\n"
+        "exit codes: 0 ok, 1 usage/fatal error, 3 cells quarantined "
+        "in failed_cells,\n"
+        "            128+signal interrupted (drained; re-run with "
+        "--resume)\n");
 }
 
 Options
@@ -193,6 +221,30 @@ parse(int argc, char **argv)
                 dol::fatal("bad --fuzz-case-seed value: " + value);
             }
             options.fuzzCaseSeedSet = true;
+        } else if (arg == "--checkpoint") {
+            options.checkpoint = nextPath();
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--cell-timeout") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 1, UINT64_MAX,
+                                      options.cellTimeoutMs)) {
+                dol::fatal("bad --cell-timeout value: " + value);
+            }
+        } else if (arg == "--retries") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 0, 1000,
+                                      options.retries)) {
+                dol::fatal("bad --retries value: " + value);
+            }
+        } else if (arg == "--retry-backoff-ms") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 0, UINT64_MAX,
+                                      options.retryBackoffMs)) {
+                dol::fatal("bad --retry-backoff-ms value: " + value);
+            }
+        } else if (arg == "--fault-plan") {
+            options.faultPlanSpec = next();
         } else if (arg == "--counters") {
             options.counters = true;
         } else if (arg == "--csv") {
@@ -209,7 +261,19 @@ parse(int argc, char **argv)
     }
     if (options.workloads.empty())
         options.workloads.push_back("libquantum.syn");
+    if (options.resume && options.checkpoint.empty())
+        dol::fatal("--resume needs --checkpoint FILE");
     return options;
+}
+
+/** Exit status for a drained run: 128+signal, like the shell reports
+ *  for a killed process; 128+SIGINT when the drain came from a stop
+ *  fault rather than a real signal. */
+int
+interruptedExitCode()
+{
+    const int signo = dol::runner::lastStopSignal();
+    return 128 + (signo ? signo : SIGINT);
 }
 
 } // namespace
@@ -262,15 +326,39 @@ main(int argc, char **argv)
     }
 
     if (options.fuzz > 0) {
+        runner::installStopHandlers();
         check::CampaignOptions campaign;
         campaign.cases = options.fuzz;
         campaign.seed = options.fuzzSeed;
         campaign.jobs = options.jobs;
         campaign.reproDir = options.fuzzDir;
         campaign.mutation = *mutation;
-        const check::CampaignReport report =
-            check::runCampaign(campaign);
+        campaign.checkpointPath = options.checkpoint;
+        campaign.resume = options.resume;
+        campaign.stopFlag = &runner::signalStopFlag();
+        check::CampaignReport report;
+        try {
+            report = check::runCampaign(campaign);
+        } catch (const std::exception &e) {
+            fatal(e.what());
+        }
+        if (report.interrupted) {
+            std::fprintf(stderr,
+                         "dolsim: fuzz campaign interrupted (%llu of "
+                         "%llu cases done)%s\n",
+                         static_cast<unsigned long long>(
+                             report.casesRun + report.casesResumed),
+                         static_cast<unsigned long long>(report.cases),
+                         options.checkpoint.empty()
+                             ? ""
+                             : "; re-run with --resume to continue");
+            return interruptedExitCode();
+        }
         std::fputs(report.summaryText().c_str(), stdout);
+        if (report.ok() && !options.checkpoint.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(options.checkpoint, ec);
+        }
         return report.ok() ? 0 : 1;
     }
 
@@ -313,9 +401,32 @@ main(int argc, char **argv)
 
     run_options.collectCounters = options.counters;
 
+    runner::installStopHandlers();
+    runner::FaultPlan fault_plan;
+    if (!options.faultPlanSpec.empty()) {
+        std::string error;
+        if (!runner::FaultPlan::parse(options.faultPlanSpec,
+                                      fault_plan, &error))
+            fatal("bad --fault-plan: " + error);
+    }
+
     runner::SweepOptions sweep_options;
     sweep_options.jobs = options.jobs;
     sweep_options.progress = !options.quiet;
+    sweep_options.checkpointPath = options.checkpoint;
+    sweep_options.resume = options.resume;
+    sweep_options.cellTimeoutMs =
+        static_cast<double>(options.cellTimeoutMs);
+    sweep_options.retries = static_cast<unsigned>(options.retries);
+    sweep_options.retryBackoffMs =
+        static_cast<double>(options.retryBackoffMs);
+    // Cells that exhaust their retry budget land in the document's
+    // failed_cells section instead of aborting the whole sweep.
+    sweep_options.onError =
+        runner::SweepOptions::OnError::kQuarantine;
+    sweep_options.stopFlag = &runner::signalStopFlag();
+    if (!fault_plan.empty())
+        sweep_options.faultPlan = &fault_plan;
     runner::SweepRunner sweep(config, sweep_options);
     const std::string variant =
         options.dest.empty() ? "" : ":" + options.dest;
@@ -343,7 +454,33 @@ main(int argc, char **argv)
         }
     }
 
-    const runner::SweepRunner::Report report = sweep.run();
+    runner::SweepRunner::Report report;
+    try {
+        report = sweep.run();
+    } catch (const std::exception &e) {
+        fatal(e.what());
+    }
+
+    if (report.interrupted) {
+        // Partial run: keep the journal, write no outputs (a resumed
+        // run produces the complete, byte-identical document).
+        std::fprintf(
+            stderr, "dolsim: sweep interrupted%s\n",
+            options.checkpoint.empty()
+                ? ""
+                : "; re-run with --resume to continue from the "
+                  "checkpoint");
+        return interruptedExitCode();
+    }
+
+    for (const runner::FailedCell &cell : report.meta.failedCells) {
+        std::fprintf(stderr,
+                     "dolsim: cell %s failed after %u attempt%s "
+                     "(%s): %s\n",
+                     cell.label.c_str(), cell.attempts,
+                     cell.attempts == 1 ? "" : "s", cell.kind.c_str(),
+                     cell.error.c_str());
+    }
 
     if (options.csv) {
         std::fputs(report.store.toCsv().c_str(), stdout);
@@ -381,5 +518,12 @@ main(int argc, char **argv)
                          report.store.rows().size());
         }
     }
-    return 0;
+
+    if (!options.checkpoint.empty() &&
+        report.meta.failedCells.empty()) {
+        // Complete and clean: the journal has nothing left to resume.
+        std::error_code ec;
+        std::filesystem::remove(options.checkpoint, ec);
+    }
+    return report.meta.failedCells.empty() ? 0 : 3;
 }
