@@ -161,14 +161,16 @@ main(int argc, char **argv)
 
     // The tab/fig workload cells the acceptance numbers quote: one
     // workload per dominant access pattern (stream, stencil, pointer
-    // chase, region-dense, mixed), crossed with the headline
-    // prefetcher configs.
+    // chase, region-dense, mixed, temporal recurrence, shuffled
+    // lists), crossed with the headline prefetcher configs including
+    // the enlarged three-extra composite.
     const std::vector<std::string> workloads{
-        "libquantum.syn", "lbm.syn", "mcf.syn", "milc.syn",
-        "omnetpp.syn",
+        "libquantum.syn", "lbm.syn",       "mcf.syn",
+        "milc.syn",       "omnetpp.syn",   "tempstream.syn",
+        "shuflist.syn",
     };
-    const std::vector<std::string> prefetchers{"none", "TPC", "SPP",
-                                               "TPC+SPP"};
+    const std::vector<std::string> prefetchers{
+        "none", "TPC", "SPP", "TPC+SPP", "TPC+SPP+Triangel+PChase"};
 
     SimConfig config = makeBenchConfig(max_instrs);
     config.maxInstrs = max_instrs;

@@ -212,6 +212,10 @@ struct SimHarness
             params.extraDegree1));
         tpc->addComponent(std::make_unique<NextLinePrefetcher>(
             params.extraDegree2));
+        if (params.numExtras >= 3) {
+            tpc->addComponent(std::make_unique<NextLinePrefetcher>(
+                params.extraDegree3));
+        }
 
         SimConfig sim_config;
         sim_config.maxInstrs = records.size();
@@ -249,11 +253,13 @@ runSimDifferential(const std::vector<TraceRecord> &records,
 
     const ComponentId t2_id = tpc.t2()->id();
     const ComponentId c1_id = tpc.c1() ? tpc.c1()->id() : kNoComponent;
-    const ComponentId extra_ids[2] = {tpc.extras()[0]->id(),
-                                      tpc.extras()[1]->id()};
+    std::vector<ComponentId> extra_ids;
+    for (const auto &extra : tpc.extras())
+        extra_ids.push_back(extra->id());
+    const std::size_t num_extras = extra_ids.size();
 
     ReferenceT2 ref_t2(config.params.t2, config.mutation);
-    ReferenceCoordinator ref_coord(2, config.mutation);
+    ReferenceCoordinator ref_coord(num_extras, config.mutation);
 
     std::vector<PrefetchEmitter::EmitRecord> bucket;
     harness.sim->emitter().setEmitHook(
@@ -282,17 +288,23 @@ runSimDifferential(const std::vector<TraceRecord> &records,
 
         // Partition this access's emission records by component.
         std::vector<PrefetchEmitter::EmitRecord> t2_records;
-        unsigned extra_emits[2] = {0, 0};
+        std::vector<unsigned> extra_emits(num_extras, 0);
         unsigned c1_emits = 0;
         for (const auto &record : bucket) {
-            if (record.comp == t2_id)
+            if (record.comp == t2_id) {
                 t2_records.push_back(record);
-            else if (tpc.c1() && record.comp == c1_id)
+                continue;
+            }
+            if (tpc.c1() && record.comp == c1_id) {
                 ++c1_emits;
-            else if (record.comp == extra_ids[0])
-                ++extra_emits[0];
-            else if (record.comp == extra_ids[1])
-                ++extra_emits[1];
+                continue;
+            }
+            for (std::size_t idx = 0; idx < num_extras; ++idx) {
+                if (record.comp == extra_ids[idx]) {
+                    ++extra_emits[idx];
+                    break;
+                }
+            }
             // P1's emissions are environment: its chase engine is
             // driven by fill timing, which the reference does not
             // model.
@@ -370,10 +382,12 @@ runSimDifferential(const std::vector<TraceRecord> &records,
                                  tpc.c1()->isMonitored(access.mPc));
         int hit_extra = -1;
         if (access.l1HitPrefetched) {
-            if (access.l1HitComp == extra_ids[0])
-                hit_extra = 0;
-            else if (access.l1HitComp == extra_ids[1])
-                hit_extra = 1;
+            for (std::size_t idx = 0; idx < num_extras; ++idx) {
+                if (access.l1HitComp == extra_ids[idx]) {
+                    hit_extra = static_cast<int>(idx);
+                    break;
+                }
+            }
         }
         const int routed = ref_coord.onAccess(access, claims,
                                               hit_extra);
@@ -410,7 +424,7 @@ runSimDifferential(const std::vector<TraceRecord> &records,
                      "routed to it");
             return;
         }
-        for (int idx = 0; idx < 2; ++idx) {
+        for (int idx = 0; idx < static_cast<int>(num_extras); ++idx) {
             if (extra_emits[idx] > 0 && routed != idx) {
                 fail("coordinator",
                      "extra " + std::to_string(idx) + " emitted " +

@@ -40,6 +40,12 @@ makeFuzzParams(std::uint64_t case_seed)
     params.enableC1 = rng.chance(0.6);
     params.extraDegree2 = static_cast<unsigned>(rng.range(1, 3));
     params.opSeed = splitMix(case_seed ^ 0xCACEull);
+    // Appended draws only below this line: earlier draws must keep
+    // consuming the same rng prefix so a case seed's historical
+    // parameters stay stable.
+    params.numExtras = rng.chance(0.5) ? 3 : 2;
+    params.extraDegree3 = static_cast<unsigned>(rng.range(1, 3));
+    params.temporalSlot = rng.chance(0.7);
     return params;
 }
 
@@ -57,6 +63,7 @@ struct Slot
         kZigzag,
         kRandom,
         kPtrArray,
+        kTemporal,
     };
 
     Kind kind;
@@ -192,6 +199,21 @@ makeFuzzTrace(std::uint64_t case_seed, const FuzzParams &params)
         slot.ptrDelta = static_cast<std::int64_t>(rng.below(3)) * 8;
         slots.push_back(std::move(slot));
     }
+    if (params.temporalSlot) {
+        // A short scattered sequence revisited cyclically: no stride,
+        // no region density, no pointer values — just recurrence. It
+        // stays unclaimed, so it lands on an extra binding and keeps
+        // re-hitting prefetched lines, stirring the rebinding paths.
+        Slot slot;
+        slot.kind = Slot::Kind::kTemporal;
+        slot.pc = take_pc();
+        const std::uint64_t length = rng.range(8, 24);
+        for (std::uint64_t i = 0; i < length; ++i) {
+            slot.nodes.push_back(0xA0000000 +
+                                 rng.below(1u << 16) * kLineBytes);
+        }
+        slots.push_back(std::move(slot));
+    }
 
     std::vector<TraceRecord> records;
     const std::uint64_t total = 1500 + rng.below(1500);
@@ -281,6 +303,13 @@ makeFuzzTrace(std::uint64_t case_seed, const FuzzParams &params)
                 emit(makeStore(slot.pc, addr, 0, 8, 9));
             else
                 emit(makeLoad(slot.pc, addr, 0, 8, 9));
+            break;
+          }
+
+          case Slot::Kind::kTemporal: {
+            const std::size_t i = slot.position % slot.nodes.size();
+            emit(makeLoad(slot.pc, slot.nodes[i], 0, 30, 31));
+            ++slot.position;
             break;
           }
 

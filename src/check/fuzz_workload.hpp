@@ -9,7 +9,8 @@
  * with run lengths straddling the confirmation thresholds, pointer
  * chains with coherent in-memory values, dense and sparse regions
  * around C1's density cut, prefetch-hit "zigzag" pairs that exercise
- * coordinator rebinding, and plain noise — as straight-line code.
+ * coordinator rebinding, temporal-correlation sequences revisited
+ * cyclically, and plain noise — as straight-line code.
  *
  * Domain restrictions (what keeps the reference models simple):
  *  - no control instructions: mPC == PC, T2's loop detector stays
@@ -45,9 +46,14 @@ struct FuzzParams
     T2Prefetcher::Params t2{};
     bool enableP1 = true;
     bool enableC1 = true;
-    /** Degrees of the two next-line extra components. */
+    /** Degrees of the next-line extra components. */
     unsigned extraDegree1 = 1;
     unsigned extraDegree2 = 2;
+    unsigned extraDegree3 = 1;
+    /** Extras behind the coordinator (2 or 3). */
+    unsigned numExtras = 2;
+    /** Include a temporal-correlation slot in the trace. */
+    bool temporalSlot = false;
     /** Seed of the standalone cache differential's op stream. */
     std::uint64_t opSeed = 1;
     /** Geometry of the standalone cache differential (16 sets). */

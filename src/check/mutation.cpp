@@ -15,6 +15,8 @@ mutationName(Mutation mutation)
         return "rebind";
       case Mutation::kT2ConfirmThreshold:
         return "t2confirm";
+      case Mutation::kRebindWrongExtra:
+        return "rebind3";
     }
     return "none";
 }
@@ -30,6 +32,8 @@ mutationFromName(const std::string &name)
         return Mutation::kDropRebinding;
     if (name == "t2confirm")
         return Mutation::kT2ConfirmThreshold;
+    if (name == "rebind3")
+        return Mutation::kRebindWrongExtra;
     return std::nullopt;
 }
 

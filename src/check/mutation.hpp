@@ -30,6 +30,11 @@ enum class Mutation
     kDropRebinding,
     /** Reference T2 confirms a stream one access later. */
     kT2ConfirmThreshold,
+    /** Reference coordinator rebinds to the *next* extra instead of
+     *  the one whose line was hit — but only in composites with three
+     *  or more extras, so catching it proves the campaign exercises
+     *  rebinding beyond the classic two-extra configuration. */
+    kRebindWrongExtra,
 };
 
 const char *mutationName(Mutation mutation);

@@ -57,7 +57,13 @@ class ReferenceCoordinator
 
         if (access.l1HitPrefetched && hit_extra_idx >= 0 &&
             _mutation != Mutation::kDropRebinding) {
-            _bindings[access.mPc] = static_cast<unsigned>(hit_extra_idx);
+            auto target = static_cast<unsigned>(hit_extra_idx);
+            if (_mutation == Mutation::kRebindWrongExtra &&
+                _numExtras >= 3) {
+                target = (target + 1) %
+                         static_cast<unsigned>(_numExtras);
+            }
+            _bindings[access.mPc] = target;
         }
         if (_bindings.size() > (1u << 16))
             _bindings.clear();

@@ -30,6 +30,7 @@ CompositePrefetcher::addComponent(std::unique_ptr<Prefetcher> extra)
 {
     _extras.push_back(std::move(extra));
     _health.emplace_back();
+    _extraBoundAccesses.push_back(0);
 }
 
 bool
@@ -85,6 +86,15 @@ CompositePrefetcher::exportCounters(CounterRegistry &registry) const
         extra->exportCounters(registry);
     registry.set(name(), "coord_claims", _coordClaims);
     registry.set(name(), "coord_unclaims", _coordUnclaims);
+    if (!_extras.empty()) {
+        registry.set(name(), "coord_rr_binds", _roundRobinBinds);
+        registry.set(name(), "coord_rebinds", _rebinds);
+        for (std::size_t i = 0; i < _extras.size(); ++i) {
+            registry.set(name(),
+                         "coord_bound_" + _extras[i]->name(),
+                         _extraBoundAccesses[i]);
+        }
+    }
 }
 
 CompositePrefetcher::Owner
@@ -135,8 +145,13 @@ CompositePrefetcher::routeToExtras(const AccessInfo &access,
     // (paper section IV-E).
     if (access.l1HitPrefetched) {
         const int idx = extraIndexOfComponent(access.l1HitComp);
-        if (idx >= 0)
-            _bindings[access.mPc] = static_cast<unsigned>(idx);
+        if (idx >= 0) {
+            unsigned &bound = _bindings[access.mPc];
+            if (bound != static_cast<unsigned>(idx)) {
+                bound = static_cast<unsigned>(idx);
+                ++_rebinds;
+            }
+        }
     }
 
     if (_bindings.size() > (1u << 16))
@@ -146,9 +161,11 @@ CompositePrefetcher::routeToExtras(const AccessInfo &access,
     if (inserted) {
         *binding = _nextBinding++ %
                    static_cast<unsigned>(_extras.size());
+        ++_roundRobinBinds;
     }
 
     const unsigned index = *binding;
+    ++_extraBoundAccesses[index];
     ExtraHealth &health = _health[index];
     if (access.l1HitPrefetched &&
         access.l1HitComp == _extras[index]->id()) {

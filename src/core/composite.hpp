@@ -145,6 +145,13 @@ class CompositePrefetcher : public Prefetcher
     FlatHashMap<Pc, std::uint8_t> _lastOwner;
     std::uint64_t _coordClaims = 0;
     std::uint64_t _coordUnclaims = 0;
+
+    /** Coordinator routing statistics — exported only when extras are
+     *  present, so extra-less configurations keep their counter text
+     *  (and golden traces) unchanged. */
+    std::uint64_t _roundRobinBinds = 0;
+    std::uint64_t _rebinds = 0;
+    std::vector<std::uint64_t> _extraBoundAccesses;
 };
 
 /**

@@ -8,9 +8,11 @@
 #include "prefetch/isb.hpp"
 #include "prefetch/markov.hpp"
 #include "prefetch/next_line.hpp"
+#include "prefetch/pchase.hpp"
 #include "prefetch/sms.hpp"
 #include "prefetch/spp.hpp"
 #include "prefetch/stride_pc.hpp"
+#include "prefetch/triangel.hpp"
 #include "prefetch/vldp.hpp"
 
 namespace dol
@@ -41,7 +43,7 @@ namespace
 {
 
 std::unique_ptr<Prefetcher>
-makeMonolithic(const std::string &name)
+makeMonolithic(const std::string &name, const ValueSource *memory)
 {
     if (name == "GHB-PC/DC")
         return std::make_unique<GhbPcdcPrefetcher>();
@@ -65,7 +67,29 @@ makeMonolithic(const std::string &name)
         return std::make_unique<NextLinePrefetcher>();
     if (name == "StridePC")
         return std::make_unique<StridePcPrefetcher>();
+    if (name == "Triangel")
+        return std::make_unique<TriangelPrefetcher>();
+    if (name == "PChase")
+        return std::make_unique<PChasePrefetcher>(memory);
     return nullptr;
+}
+
+/** Split "A+B+C" into component names. */
+std::vector<std::string>
+splitExtras(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t plus = list.find('+', start);
+        if (plus == std::string::npos) {
+            out.push_back(list.substr(start));
+            break;
+        }
+        out.push_back(list.substr(start, plus - start));
+        start = plus + 1;
+    }
+    return out;
 }
 
 } // namespace
@@ -73,7 +97,7 @@ makeMonolithic(const std::string &name)
 std::unique_ptr<Prefetcher>
 makePrefetcher(const std::string &name, const ValueSource *memory)
 {
-    if (auto mono = makeMonolithic(name))
+    if (auto mono = makeMonolithic(name, memory))
         return mono;
 
     if (name == "T2") {
@@ -96,25 +120,27 @@ makePrefetcher(const std::string &name, const ValueSource *memory)
     constexpr std::string_view shunt_prefix = "SHUNT:TPC+";
 
     if (name.starts_with(shunt_prefix)) {
-        const std::string extra_name(
-            name.substr(shunt_prefix.size()));
-        auto extra = makeMonolithic(extra_name);
-        if (!extra)
-            fatal("unknown shunt component: " + extra_name);
         auto shunt = std::make_unique<ShuntPrefetcher>(name);
         shunt->addComponent(makeTpc(memory));
-        shunt->addComponent(std::move(extra));
+        for (const std::string &extra_name :
+             splitExtras(name.substr(shunt_prefix.size()))) {
+            auto extra = makeMonolithic(extra_name, memory);
+            if (!extra)
+                fatal("unknown shunt component: " + extra_name);
+            shunt->addComponent(std::move(extra));
+        }
         return shunt;
     }
 
     if (name.starts_with(composite_prefix)) {
-        const std::string extra_name(
-            name.substr(composite_prefix.size()));
-        auto extra = makeMonolithic(extra_name);
-        if (!extra)
-            fatal("unknown composite component: " + extra_name);
         auto tpc = makeTpc(memory);
-        tpc->addComponent(std::move(extra));
+        for (const std::string &extra_name :
+             splitExtras(name.substr(composite_prefix.size()))) {
+            auto extra = makeMonolithic(extra_name, memory);
+            if (!extra)
+                fatal("unknown composite component: " + extra_name);
+            tpc->addComponent(std::move(extra));
+        }
         return tpc;
     }
 

@@ -6,8 +6,12 @@
  *  - monolithic baselines: "GHB-PC/DC", "SPP", "VLDP", "BOP", "FDP",
  *    "SMS", "AMPM" (Table II set) plus "NextLine" and "StridePC"
  *  - components / composites: "T2", "T2P1" (T2+P1), "TPC"
- *  - composited extras: "TPC+<baseline>"  (coordinated, section IV-E)
- *  - shunted extras:    "SHUNT:TPC+<baseline>" (uncoordinated)
+ *  - composited extras: "TPC+<baseline>[+<baseline>...]"
+ *    (coordinated, section IV-E; '+'-separated extras are bound
+ *    round-robin by the coordinator)
+ *  - shunted extras:    "SHUNT:TPC+<baseline>[+...]" (uncoordinated)
+ *  - temporal/pointer extras: "Triangel", "PChase" (usable alone or
+ *    as composite extras)
  */
 
 #ifndef DOL_CORE_REGISTRY_HPP

@@ -12,8 +12,8 @@ IsbPrefetcher::IsbPrefetcher(const Params &params)
 Addr
 IsbPrefetcher::structuralOf(Addr line_addr) const
 {
-    const auto it = _psMap.find(lineAddr(line_addr));
-    return it == _psMap.end() ? kNoAddr : it->second;
+    const Addr *structural = _psMap.find(lineAddr(line_addr));
+    return structural ? *structural : kNoAddr;
 }
 
 Addr
@@ -42,43 +42,48 @@ IsbPrefetcher::train(const AccessInfo &access, PrefetchEmitter &emitter)
     }
 
     // Training: give consecutive structural addresses to consecutive
-    // misses of the same PC.
-    const auto last_it = _lastMiss.find(access.pc);
-    if (last_it != _lastMiss.end() && last_it->second != line) {
-        const Addr prev = last_it->second;
-        auto prev_ps = _psMap.find(prev);
-        if (prev_ps == _psMap.end()) {
-            const Addr structural = allocateStructural();
-            prev_ps = _psMap.emplace(prev, structural).first;
-            _spMap[structural] = prev;
+    // misses of the same PC. (FlatHashMap pointers are invalidated by
+    // inserts, so looked-up values are copied out first.)
+    const Addr *last = _lastMiss.find(access.pc);
+    if (last && *last != line) {
+        const Addr prev = *last;
+        const Addr *prev_ps = _psMap.find(prev);
+        Addr prev_structural;
+        if (!prev_ps) {
+            prev_structural = allocateStructural();
+            _psMap.insert(prev, prev_structural);
+            _spMap.insert(prev_structural, prev);
+        } else {
+            prev_structural = *prev_ps;
         }
-        const Addr next_structural = prev_ps->second + 1;
+        const Addr next_structural = prev_structural + 1;
         // Chunk boundaries end a stream; established mappings and
         // occupied slots are left alone (remapping on every revisit
         // would tear chains apart at their wrap-around edges).
         if (next_structural % _params.streamChunk != 0 &&
             !_psMap.contains(line) &&
             !_spMap.contains(next_structural)) {
-            _psMap[line] = next_structural;
-            _spMap[next_structural] = line;
+            _psMap.insert(line, next_structural);
+            _spMap.insert(next_structural, line);
         }
     }
-    _lastMiss[access.pc] = line;
+    _lastMiss.insert(access.pc, line);
 
     // Prediction: walk forward in structural space.
-    const auto ps = _psMap.find(line);
-    if (ps == _psMap.end())
+    const Addr *ps = _psMap.find(line);
+    if (!ps)
         return;
+    const Addr base_structural = *ps;
     for (unsigned k = 1; k <= _params.degree; ++k) {
-        const Addr structural = ps->second + k;
+        const Addr structural = base_structural + k;
         if (structural % _params.streamChunk <
-            ps->second % _params.streamChunk) {
+            base_structural % _params.streamChunk) {
             break; // crossed a chunk boundary
         }
-        const auto sp = _spMap.find(structural);
-        if (sp == _spMap.end())
+        const Addr *physical = _spMap.find(structural);
+        if (!physical)
             break;
-        emitter.emit(sp->second, kL1);
+        emitter.emit(*physical, kL1);
     }
 }
 

@@ -14,9 +14,9 @@
 #define DOL_PREFETCH_ISB_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "prefetch/prefetcher.hpp"
 
 namespace dol
@@ -48,9 +48,9 @@ class IsbPrefetcher : public Prefetcher
 
     Params _params;
     /** Per-PC training context: the previous miss line of that PC. */
-    std::unordered_map<Pc, Addr> _lastMiss;
-    std::unordered_map<Addr, Addr> _psMap; ///< physical -> structural
-    std::unordered_map<Addr, Addr> _spMap; ///< structural -> physical
+    FlatHashMap<Pc, Addr> _lastMiss;
+    FlatHashMap<Addr, Addr> _psMap; ///< physical -> structural
+    FlatHashMap<Addr, Addr> _spMap; ///< structural -> physical
     Addr _nextStructural = 0;
 };
 

@@ -10,8 +10,7 @@ MarkovPrefetcher::MarkovPrefetcher() : MarkovPrefetcher(Params()) {}
 MarkovPrefetcher::MarkovPrefetcher(const Params &params)
     : Prefetcher("Markov"), _params(params), _table(params.entries)
 {
-    for (Row &row : _table)
-        row.successors.reserve(params.ways);
+    _params.ways = std::min(_params.ways, kMaxWays);
 }
 
 void
@@ -22,32 +21,40 @@ MarkovPrefetcher::train(const AccessInfo &access,
         return;
     const Addr line = access.line();
 
-    // Record this miss as the successor of the previous one.
+    // Record this miss as the successor of the previous one
+    // (move-to-front within the row's inline MRU array).
     if (_lastMissLine != kNoAddr && _lastMissLine != line) {
         Row &row = _table[lineNum(_lastMissLine) % _table.size()];
         if (row.tag != _lastMissLine) {
             row.tag = _lastMissLine;
-            row.successors.clear();
+            row.count = 0;
         }
-        auto it = std::find(row.successors.begin(),
-                            row.successors.end(), line);
-        if (it != row.successors.end())
-            row.successors.erase(it);
-        row.successors.insert(row.successors.begin(), line);
-        if (row.successors.size() > _params.ways)
-            row.successors.pop_back();
+        unsigned pos = row.count;
+        for (unsigned w = 0; w < row.count; ++w) {
+            if (row.succ[w] == line) {
+                pos = w;
+                break;
+            }
+        }
+        if (pos == row.count) {
+            // Not present: grow if room, else drop the LRU way.
+            if (row.count < _params.ways)
+                ++row.count;
+            pos = row.count - 1;
+        }
+        for (unsigned w = pos; w > 0; --w)
+            row.succ[w] = row.succ[w - 1];
+        row.succ[0] = line;
     }
     _lastMissLine = line;
 
     // Predict: prefetch the remembered successors of this line.
     const Row &row = _table[lineNum(line) % _table.size()];
     if (row.tag == line) {
-        unsigned issued = 0;
-        for (Addr successor : row.successors) {
-            if (issued++ >= _params.degree)
-                break;
-            emitter.emit(successor, kL1);
-        }
+        const unsigned limit =
+            std::min<unsigned>(row.count, _params.degree);
+        for (unsigned w = 0; w < limit; ++w)
+            emitter.emit(row.succ[w], kL1);
     }
 }
 

@@ -24,9 +24,13 @@ class MarkovPrefetcher : public Prefetcher
     struct Params
     {
         unsigned entries = 4096; ///< correlation table rows
-        unsigned ways = 2;       ///< successors kept per row
+        /** Successors kept per row (clamped to kMaxWays). */
+        unsigned ways = 2;
         unsigned degree = 2;     ///< successors prefetched per miss
     };
+
+    /** Inline successor storage per row; rows never heap-allocate. */
+    static constexpr unsigned kMaxWays = 4;
 
     MarkovPrefetcher();
     explicit MarkovPrefetcher(const Params &params);
@@ -39,7 +43,8 @@ class MarkovPrefetcher : public Prefetcher
     struct Row
     {
         Addr tag = kNoAddr;
-        std::vector<Addr> successors; ///< MRU first
+        Addr succ[kMaxWays] = {};   ///< MRU first
+        std::uint8_t count = 0;     ///< valid successors
     };
 
     Params _params;

@@ -1,0 +1,106 @@
+#include "prefetch/pchase.hpp"
+
+#include "mem/memory_image.hpp"
+#include "trace/counters.hpp"
+
+namespace dol
+{
+
+PChasePrefetcher::PChasePrefetcher(const ValueSource *memory)
+    : PChasePrefetcher(Params(), memory)
+{}
+
+PChasePrefetcher::PChasePrefetcher(const Params &params,
+                                   const ValueSource *memory)
+    : Prefetcher("PChase"), _params(params), _memory(memory),
+      _chains(params.entries)
+{}
+
+unsigned
+PChasePrefetcher::chainConfidence(Pc pc) const
+{
+    const Chain *chain = _chains.find(pc);
+    return chain ? chain->conf : 0;
+}
+
+std::int64_t
+PChasePrefetcher::chainOffset(Pc pc) const
+{
+    const Chain *chain = _chains.find(pc);
+    return chain && chain->hasOffset ? chain->offset : 0;
+}
+
+void
+PChasePrefetcher::train(const AccessInfo &access,
+                        PrefetchEmitter &emitter)
+{
+    if (!access.isLoad)
+        return;
+    Chain &chain = _chains.insert(access.pc);
+
+    if (chain.hasValue) {
+        const std::int64_t delta = static_cast<std::int64_t>(
+            access.addr - chain.lastValue);
+        if (delta >= -_params.maxOffset && delta <= _params.maxOffset) {
+            if (chain.hasOffset && delta == chain.offset) {
+                if (chain.conf + 1u == _params.confirmThreshold)
+                    ++_confirmed;
+                if (chain.conf < _params.confMax)
+                    ++chain.conf;
+            } else {
+                chain.offset = delta;
+                chain.hasOffset = true;
+                chain.conf = 1;
+            }
+        } else {
+            // The address did not come from the previous value: the
+            // chain (if any) broke.
+            ++_breaks;
+            if (chain.conf > 0)
+                --chain.conf;
+        }
+    }
+    chain.lastValue = access.value;
+    chain.hasValue = access.value != 0;
+
+    if (chain.conf < _params.confirmThreshold || !chain.hasValue)
+        return;
+    // Prefetch matters only where demand would stall.
+    if (!access.l1PrimaryMiss && !access.l1HitPrefetched)
+        return;
+
+    std::uint64_t value = access.value;
+    for (unsigned hop = 0; hop < _params.hops; ++hop) {
+        if (value == 0)
+            break;
+        const Addr target = static_cast<Addr>(
+            static_cast<std::int64_t>(value) + chain.offset);
+        emitter.emit(target, kL1);
+        if (hop == 0)
+            ++_emitted;
+        else
+            ++_hopEmitted;
+        if (!_memory)
+            break;
+        value = _memory->read64(target);
+    }
+}
+
+std::size_t
+PChasePrefetcher::storageBits() const
+{
+    // PC tag (32) + last value (64) + offset (16) + confidence (3)
+    // + valid bits (2) per entry.
+    return _params.entries * (32 + 64 + 16 + 3 + 2);
+}
+
+void
+PChasePrefetcher::exportCounters(CounterRegistry &registry) const
+{
+    registry.set(name(), "chains_confirmed", _confirmed);
+    registry.set(name(), "emitted", _emitted);
+    registry.set(name(), "hop_emitted", _hopEmitted);
+    registry.set(name(), "chain_breaks", _breaks);
+}
+
+} // namespace dol

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pointer-chase prefetcher (after arXiv 1801.08088), used here as a
+ * monolithic coordinator extra. Unlike P1 it sees no decoder taint
+ * and tracks no registers: it detects self-referencing load chains
+ * purely from the demand address/value stream. For every load PC it
+ * checks whether the current effective address equals the previous
+ * load's returned value plus a small constant offset — the signature
+ * of `p = p->next` traversals. A confirmed chain prefetches the next
+ * node, and when a memory image is available the chain is
+ * dereferenced for deeper hops (modelling the returned-value feedback
+ * loop of the original design).
+ */
+
+#ifndef DOL_PREFETCH_PCHASE_HPP
+#define DOL_PREFETCH_PCHASE_HPP
+
+#include <cstdint>
+
+#include "common/flat_table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class ValueSource;
+
+class PChasePrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        std::size_t entries = 256;    ///< tracked load PCs
+        unsigned confirmThreshold = 2; ///< matches before issuing
+        unsigned confMax = 7;
+        /** Link-field offset bound: |addr - prev value| accepted. */
+        std::int64_t maxOffset = 128;
+        unsigned hops = 2; ///< prefetch depth along the chain
+    };
+
+    explicit PChasePrefetcher(const ValueSource *memory = nullptr);
+    PChasePrefetcher(const Params &params, const ValueSource *memory);
+
+    void train(const AccessInfo &access,
+               PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    void exportCounters(CounterRegistry &registry) const override;
+
+    /** Test hook: confirmed chain confidence of @p pc (0 if none). */
+    unsigned chainConfidence(Pc pc) const;
+    /** Test hook: detected link offset of @p pc. */
+    std::int64_t chainOffset(Pc pc) const;
+
+  private:
+    struct Chain
+    {
+        std::uint64_t lastValue = 0;
+        std::int64_t offset = 0;
+        std::uint8_t conf = 0;
+        bool hasValue = false;
+        bool hasOffset = false;
+    };
+
+    Params _params;
+    const ValueSource *_memory;
+    BoundedLruTable<Pc, Chain> _chains;
+
+    std::uint64_t _confirmed = 0;
+    std::uint64_t _emitted = 0;
+    std::uint64_t _hopEmitted = 0;
+    std::uint64_t _breaks = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_PCHASE_HPP

@@ -1,0 +1,188 @@
+#include "prefetch/triangel.hpp"
+
+#include <algorithm>
+
+#include "trace/counters.hpp"
+
+namespace dol
+{
+
+TriangelPrefetcher::TriangelPrefetcher()
+    : TriangelPrefetcher(Params())
+{}
+
+TriangelPrefetcher::TriangelPrefetcher(const Params &params)
+    : Prefetcher("Triangel"), _params(params),
+      _units(params.unitEntries), _lastMiss(params.unitEntries),
+      _sample(params.sampleEntries), _history(params.historyEntries)
+{}
+
+bool
+TriangelPrefetcher::isTrainingUnit(Pc pc) const
+{
+    const Unit *unit = _units.find(pc);
+    return unit && unit->misses >= _params.trainThreshold;
+}
+
+int
+TriangelPrefetcher::unitScore(Pc pc) const
+{
+    const Unit *unit = _units.find(pc);
+    return unit ? unit->score : 0;
+}
+
+bool
+TriangelPrefetcher::hasPair(Addr line) const
+{
+    return _history.contains(lineAddr(line));
+}
+
+void
+TriangelPrefetcher::recordPair(Addr prev, Addr line, Unit &unit)
+{
+    if (Entry *entry = _history.find(prev)) {
+        // The pair's trigger already earned history space: confirm or
+        // contend for a way.
+        for (unsigned w = 0; w < kWays; ++w) {
+            if (entry->succ[w] == line) {
+                entry->conf[w] = std::min<std::uint8_t>(
+                    entry->conf[w] + 1, kConfMax);
+                unit.score = std::min(unit.score + 1, kScoreMax);
+                return;
+            }
+        }
+        unsigned victim = 0;
+        for (unsigned w = 1; w < kWays; ++w) {
+            if (entry->conf[w] < entry->conf[victim])
+                victim = w;
+        }
+        // Decay-then-replace: a recurring successor survives a few
+        // conflicting observations before losing its way.
+        if (entry->conf[victim] > 0) {
+            --entry->conf[victim];
+        } else {
+            entry->succ[victim] = line;
+            entry->conf[victim] = 1;
+        }
+        return;
+    }
+
+    // Metadata-reuse estimator: the sample table holds a subset of
+    // recent pairs. Seeing the same pair again is evidence the
+    // history metadata would be reused (score up); seeing the trigger
+    // with a *different* successor is evidence the pattern is
+    // unstable (score down). A fresh trigger is neutral — long-reuse
+    // workloads simply fall out of the sample window.
+    if (Addr *sampled = _sample.find(prev)) {
+        if (*sampled == line) {
+            ++_reuseHits;
+            unit.score = std::min(unit.score + 2, kScoreMax);
+        } else {
+            *sampled = line;
+            unit.score = std::max(unit.score - 1, kScoreMin);
+        }
+    } else {
+        _sample.insert(prev) = line;
+        ++_sampledPairs;
+        // A never-before-seen pair drags the score down: a PC whose
+        // pairs are all fresh (a random stream) pins itself at the
+        // floor and never predicts, while a recurring sequence earns
+        // the score back through history confirmations.
+        unit.score = std::max(unit.score - 1, kScoreMin);
+    }
+
+    // Trained units record pairs directly; the score (reuse minus
+    // instability, plus confirmations) gates *prediction*, not
+    // recording, so cold history can still warm up.
+    Entry &fresh = _history.insert(prev);
+    fresh.succ[0] = line;
+    fresh.conf[0] = 1;
+    for (unsigned w = 1; w < kWays; ++w) {
+        fresh.succ[w] = kNoAddr;
+        fresh.conf[w] = 0;
+    }
+    ++_recordedPairs;
+}
+
+unsigned
+TriangelPrefetcher::predict(Addr line, PrefetchEmitter &emitter)
+{
+    unsigned issued = 0;
+    Addr cursor = line;
+    for (unsigned hop = 0;
+         hop <= _params.lookahead && issued < _params.degree; ++hop) {
+        const Entry *entry = _history.find(cursor);
+        if (!entry)
+            break;
+        Addr strongest = kNoAddr;
+        std::uint8_t strongest_conf = 0;
+        for (unsigned w = 0; w < kWays && issued < _params.degree;
+             ++w) {
+            if (entry->succ[w] == kNoAddr || entry->conf[w] == 0)
+                continue;
+            emitter.emit(entry->succ[w], kL1);
+            ++issued;
+            if (entry->conf[w] > strongest_conf) {
+                strongest_conf = entry->conf[w];
+                strongest = entry->succ[w];
+            }
+        }
+        if (strongest == kNoAddr)
+            break;
+        cursor = strongest; // follow the likeliest chain forward
+    }
+    return issued;
+}
+
+void
+TriangelPrefetcher::train(const AccessInfo &access,
+                          PrefetchEmitter &emitter)
+{
+    if (!access.isLoad)
+        return;
+    // Train on the temporal trigger stream: primary misses plus hits
+    // on prefetched lines, so a chain keeps advancing once covered.
+    if (!access.l1PrimaryMiss && !access.l1HitPrefetched)
+        return;
+    const Addr line = access.line();
+
+    Unit &unit = _units.insert(access.pc);
+    ++unit.misses;
+    if (unit.misses < _params.trainThreshold) {
+        ++_unitRejects;
+        return;
+    }
+
+    Addr &last = _lastMiss.insert(access.pc);
+    if (last != 0 && last != line)
+        recordPair(last, line, unit);
+    last = line;
+
+    if (unit.score >= _params.scoreFloor)
+        _predictions += predict(line, emitter);
+}
+
+std::size_t
+TriangelPrefetcher::storageBits() const
+{
+    // Line tags are 26 bits (paper Table II convention), confidences
+    // 4 bits, PC tags 32 bits, unit state 40 bits.
+    const std::size_t history =
+        _params.historyEntries * (26 + kWays * (26 + 4));
+    const std::size_t sample = _params.sampleEntries * (26 + 26);
+    const std::size_t units = _params.unitEntries * (32 + 40);
+    const std::size_t last = _params.unitEntries * (32 + 26);
+    return history + sample + units + last;
+}
+
+void
+TriangelPrefetcher::exportCounters(CounterRegistry &registry) const
+{
+    registry.set(name(), "sampled_pairs", _sampledPairs);
+    registry.set(name(), "reuse_hits", _reuseHits);
+    registry.set(name(), "recorded_pairs", _recordedPairs);
+    registry.set(name(), "predictions", _predictions);
+    registry.set(name(), "unit_rejects", _unitRejects);
+}
+
+} // namespace dol

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Triangel-style temporal prefetcher (after arXiv 2406.10627), used
+ * here as a coordinator extra: a Markov address-pair history table
+ * trained on the per-PC primary-miss stream, with the two filters
+ * that make temporal prefetching practical at bounded storage:
+ *
+ *  - a training-unit sampler: a load PC earns training state only
+ *    after it has demonstrably missed often enough;
+ *  - metadata-reuse filtering: a small sample table estimates how
+ *    often recorded pairs recur; recurring pairs raise and unstable
+ *    pairs lower a per-unit pattern-confidence score, and the score
+ *    gates prediction, so PCs whose metadata is never reused stop
+ *    prefetching even though they keep training.
+ *
+ * All state lives in BoundedLruTable (hardware-table semantics, no
+ * node-based containers on the access path).
+ */
+
+#ifndef DOL_PREFETCH_TRIANGEL_HPP
+#define DOL_PREFETCH_TRIANGEL_HPP
+
+#include <cstdint>
+
+#include "common/flat_table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace dol
+{
+
+class TriangelPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        std::size_t historyEntries = 4096; ///< Markov pair table
+        std::size_t sampleEntries = 512;   ///< metadata-reuse sample
+        std::size_t unitEntries = 256;     ///< training-unit tracker
+        unsigned degree = 4;               ///< prefetches per trigger
+        unsigned lookahead = 2;            ///< chain hops per trigger
+        /** Primary misses before a PC becomes a training unit. */
+        unsigned trainThreshold = 2;
+        /** Pattern-confidence floor below which prediction is off. */
+        int scoreFloor = 0;
+    };
+
+    TriangelPrefetcher();
+    explicit TriangelPrefetcher(const Params &params);
+
+    void train(const AccessInfo &access,
+               PrefetchEmitter &emitter) override;
+
+    std::size_t storageBits() const override;
+
+    void exportCounters(CounterRegistry &registry) const override;
+
+    /** Test hook: has @p pc passed the training-unit sampler? */
+    bool isTrainingUnit(Pc pc) const;
+    /** Test hook: pattern-confidence score of @p pc (0 if untracked). */
+    int unitScore(Pc pc) const;
+    /** Test hook: does @p line own a history entry? */
+    bool hasPair(Addr line) const;
+
+  private:
+    static constexpr unsigned kWays = 2;
+    static constexpr std::uint8_t kConfMax = 15;
+    static constexpr int kScoreMin = -64;
+    static constexpr int kScoreMax = 64;
+
+    struct Unit
+    {
+        std::uint32_t misses = 0;
+        std::int32_t score = 0;
+    };
+
+    struct Entry
+    {
+        Addr succ[kWays] = {kNoAddr, kNoAddr};
+        std::uint8_t conf[kWays] = {0, 0};
+    };
+
+    void recordPair(Addr prev, Addr line, Unit &unit);
+    unsigned predict(Addr line, PrefetchEmitter &emitter);
+
+    Params _params;
+    BoundedLruTable<Pc, Unit> _units;
+    BoundedLruTable<Pc, Addr> _lastMiss;
+    BoundedLruTable<Addr, Addr> _sample;
+    BoundedLruTable<Addr, Entry> _history;
+
+    std::uint64_t _sampledPairs = 0;
+    std::uint64_t _reuseHits = 0;
+    std::uint64_t _recordedPairs = 0;
+    std::uint64_t _predictions = 0;
+    std::uint64_t _unitRejects = 0;
+};
+
+} // namespace dol
+
+#endif // DOL_PREFETCH_TRIANGEL_HPP

@@ -6,6 +6,7 @@
 #include "workloads/mixed_kernels.hpp"
 #include "workloads/pointer_kernels.hpp"
 #include "workloads/stream_kernels.hpp"
+#include "workloads/temporal_kernels.hpp"
 
 namespace dol
 {
@@ -84,6 +85,30 @@ alu(AluKernel::Params p)
 {
     return [p](MemoryImage &mem) {
         return std::make_unique<AluKernel>(mem, p);
+    };
+}
+
+Factory
+tempStream(TemporalStreamKernel::Params p)
+{
+    return [p](MemoryImage &mem) {
+        return std::make_unique<TemporalStreamKernel>(mem, p);
+    };
+}
+
+Factory
+shufList(ShuffledListKernel::Params p)
+{
+    return [p](MemoryImage &mem) {
+        return std::make_unique<ShuffledListKernel>(mem, p);
+    };
+}
+
+Factory
+histWalk(HistoryKernel::Params p)
+{
+    return [p](MemoryImage &mem) {
+        return std::make_unique<HistoryKernel>(mem, p);
     };
 }
 
@@ -321,6 +346,35 @@ buildNpb()
     return out;
 }
 
+std::vector<WorkloadSpec>
+buildTemporal()
+{
+    std::vector<WorkloadSpec> out;
+    auto add = [&out](std::string name, Factory f) {
+        out.push_back({std::move(name), "temporal", std::move(f)});
+    };
+    // Working sets sized so the recurring pair set per extra fits a
+    // 4k-entry temporal history table (2k pairs/stream) while still
+    // blowing out the L1/L2: temporal metadata can win, address
+    // patterns cannot.
+    add("tempstream.syn", tempStream({.elements = 1 << 11,
+                                      .aluPerIter = 4, .seed = 71}));
+    add("shuflist.syn", shufList({.nodes = 1 << 11, .nodeBytes = 128,
+                                  .traversalsPerShuffle = 4,
+                                  .swapsPerShuffle = 64,
+                                  .aluPerIter = 4, .seed = 72}));
+    add("histwalk.syn", histWalk({.elements = 1 << 11,
+                                  .aluPerIter = 6, .seed = 73}));
+    add("markovmix.syn",
+        phased("markovmix.syn",
+               {tempStream({.elements = 1 << 11, .aluPerIter = 6,
+                            .seed = 74}),
+                shufList({.nodes = 1 << 11, .traversalsPerShuffle = 8,
+                          .swapsPerShuffle = 32, .aluPerIter = 6,
+                          .seed = 74})}));
+    return out;
+}
+
 } // namespace
 
 const std::vector<WorkloadSpec> &
@@ -352,12 +406,20 @@ npbSuite()
 }
 
 const std::vector<WorkloadSpec> &
+temporalSuite()
+{
+    static const auto suite = buildTemporal();
+    return suite;
+}
+
+const std::vector<WorkloadSpec> &
 allWorkloads()
 {
     static const auto all = [] {
         std::vector<WorkloadSpec> out = speclikeSuite();
         for (const auto &suite :
-             {cronoSuite(), starbenchSuite(), npbSuite()}) {
+             {cronoSuite(), starbenchSuite(), npbSuite(),
+              temporalSuite()}) {
             out.insert(out.end(), suite.begin(), suite.end());
         }
         return out;

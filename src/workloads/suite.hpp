@@ -40,6 +40,13 @@ const std::vector<WorkloadSpec> &starbenchSuite();
 /** Scientific workloads (NPB stand-in). */
 const std::vector<WorkloadSpec> &npbSuite();
 
+/**
+ * Temporal-correlation workloads: repeated irregular traversal
+ * orders, shuffled-list re-traversals, and history-dependent
+ * sequences — the patterns the temporal/pointer-chase extras target.
+ */
+const std::vector<WorkloadSpec> &temporalSuite();
+
 /** Every single-core workload, all suites concatenated. */
 const std::vector<WorkloadSpec> &allWorkloads();
 

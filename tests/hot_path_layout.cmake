@@ -21,6 +21,20 @@ set(hot_headers
     core/composite.hpp
     metrics/accounting.hpp
     mem/memory_image.hpp
+    prefetch/prefetcher.hpp
+    prefetch/ampm.hpp
+    prefetch/bop.hpp
+    prefetch/fdp.hpp
+    prefetch/ghb_pcdc.hpp
+    prefetch/isb.hpp
+    prefetch/markov.hpp
+    prefetch/next_line.hpp
+    prefetch/pchase.hpp
+    prefetch/sms.hpp
+    prefetch/spp.hpp
+    prefetch/stride_pc.hpp
+    prefetch/triangel.hpp
+    prefetch/vldp.hpp
 )
 
 # Forbidden container spellings. std::map is allowed only in cold

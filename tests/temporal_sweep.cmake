@@ -1,0 +1,105 @@
+# Enlarged-composite sweep smoke, run as a ctest via `cmake -P`.
+#
+# Drives dolsim through a small fig14-style sweep — the temporal
+# suite crossed with TPC+SPP and the enlarged composite
+# TPC+SPP+Triangel+PChase — and validates the emitted dol-sweep-v1
+# document: schema tag, full grid (one result per cell), per-cell
+# metrics, and the coordinator's multi-extra counters on the
+# enlarged-composite rows.
+#
+# Usage:
+#   cmake -DDOLSIM=<path-to-dolsim> -DWORKDIR=<scratch-dir>
+#         -P temporal_sweep.cmake
+
+foreach(required DOLSIM WORKDIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "temporal_sweep: -D${required}= not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(json_path "${WORKDIR}/temporal.json")
+
+execute_process(
+    COMMAND "${DOLSIM}"
+        --suite temporal
+        --prefetcher TPC+SPP,TPC+SPP+Triangel+PChase
+        --instrs 20000
+        --jobs 2
+        --counters
+        --json "${json_path}"
+        --quiet
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "temporal_sweep: dolsim failed (${rc})")
+endif()
+if(NOT EXISTS "${json_path}")
+    message(FATAL_ERROR "temporal_sweep: ${json_path} not written")
+endif()
+
+file(READ "${json_path}" doc)
+
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    # Structural validation via the JSON parser.
+    string(JSON schema GET "${doc}" schema)
+    if(NOT schema STREQUAL "dol-sweep-v1")
+        message(FATAL_ERROR "temporal_sweep: schema is '${schema}'")
+    endif()
+    string(JSON n_results LENGTH "${doc}" results)
+    # 4 temporal workloads x 2 prefetchers.
+    if(NOT n_results EQUAL 8)
+        message(FATAL_ERROR
+                "temporal_sweep: expected 8 results, got ${n_results}")
+    endif()
+    set(enlarged_rows 0)
+    math(EXPR last "${n_results} - 1")
+    foreach(i RANGE ${last})
+        string(JSON row GET "${doc}" results ${i})
+        string(JSON prefetcher GET "${row}" prefetcher)
+        foreach(metric speedup eff_coverage_l1 eff_accuracy_l1
+                instructions)
+            string(JSON value ERROR_VARIABLE err
+                   GET "${row}" metrics ${metric})
+            if(err)
+                message(FATAL_ERROR
+                        "temporal_sweep: row ${i} lacks ${metric}")
+            endif()
+        endforeach()
+        if(prefetcher STREQUAL "TPC+SPP+Triangel+PChase")
+            math(EXPR enlarged_rows "${enlarged_rows} + 1")
+            # Multi-extra instrumentation must ride into the JSON:
+            # round-robin bind counts for all three extras.
+            foreach(counter TPC.coord_rr_binds TPC.coord_bound_SPP
+                    TPC.coord_bound_Triangel TPC.coord_bound_PChase)
+                string(JSON value ERROR_VARIABLE err
+                       GET "${row}" counters "${counter}")
+                if(err)
+                    message(FATAL_ERROR
+                            "temporal_sweep: enlarged row ${i} lacks "
+                            "counter ${counter}")
+                endif()
+            endforeach()
+        endif()
+    endforeach()
+    if(NOT enlarged_rows EQUAL 4)
+        message(FATAL_ERROR
+                "temporal_sweep: expected 4 enlarged-composite rows, "
+                "got ${enlarged_rows}")
+    endif()
+else()
+    # Pre-3.19 fallback: substring checks only.
+    foreach(needle "\"schema\": \"dol-sweep-v1\"" "tempstream.syn"
+            "shuflist.syn" "histwalk.syn" "markovmix.syn"
+            "TPC+SPP+Triangel+PChase" "coord_bound_Triangel")
+        string(FIND "${doc}" "${needle}" pos)
+        if(pos EQUAL -1)
+            message(FATAL_ERROR
+                    "temporal_sweep: '${needle}' missing from JSON")
+        endif()
+    endforeach()
+endif()
+
+message(STATUS "temporal_sweep: dol-sweep-v1 document valid "
+               "(8 cells, multi-extra counters present)")

@@ -67,7 +67,8 @@ TEST(MutationNames, RoundTrip)
 {
     for (Mutation m :
          {Mutation::kNone, Mutation::kLruVictimOffByOne,
-          Mutation::kDropRebinding, Mutation::kT2ConfirmThreshold}) {
+          Mutation::kDropRebinding, Mutation::kT2ConfirmThreshold,
+          Mutation::kRebindWrongExtra}) {
         const auto back = mutationFromName(mutationName(m));
         ASSERT_TRUE(back.has_value());
         EXPECT_EQ(*back, m);

@@ -232,6 +232,56 @@ TEST_F(CompositeTest, PrefetchHitMovesTheBindingToTheOwningExtra)
     EXPECT_EQ(tpc.ownerOf(0x500), CompositePrefetcher::Owner::kExtra);
 }
 
+TEST_F(CompositeTest, PrefetchHitRebindsToExactExtraAmongThree)
+{
+    // With three extras a wrong-neighbour rebind ((hit + 1) % n, the
+    // rebind3 mutation's bug) is distinguishable from the correct
+    // policy, which the two-extra test above cannot tell apart from
+    // "rebind to the other one".
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    tpc.addComponent(std::make_unique<NextLinePrefetcher>(1));
+    ComponentId next = 4;
+    for (auto &extra : tpc.extras())
+        extra->setId(next++);
+
+    Rng rng(8);
+    for (int i = 0; i < 120; ++i)
+        load(0x500, 0x5000000 + lineAddr(rng.below(1u << 24)));
+    const int before = tpc.boundExtraOf(0x500);
+    ASSERT_GE(before, 0);
+    // Rebind two hops away, so (hit + 1) % 3 would land elsewhere.
+    const int target = (before + 2) % 3;
+
+    AccessInfo info;
+    info.pc = 0x500;
+    info.mPc = 0x500;
+    info.addr = 0x5000000;
+    info.isLoad = true;
+    info.l1Hit = true;
+    info.l1HitPrefetched = true;
+    info.l1HitComp =
+        tpc.extras()[static_cast<std::size_t>(target)]->id();
+    info.when = ++now;
+    emitter.setContext(tpc.id(), now);
+    tpc.train(info, emitter);
+    EXPECT_EQ(tpc.boundExtraOf(0x500), target);
+
+    // Only the rebound extra trains from here on.
+    const auto frozen =
+        mem.stats().comp[4 + static_cast<ComponentId>(before)].issued;
+    const auto moving =
+        mem.stats().comp[4 + static_cast<ComponentId>(target)].issued;
+    for (int i = 0; i < 20; ++i)
+        load(0x500, 0x7000000 + lineAddr(rng.below(1u << 24)));
+    EXPECT_EQ(
+        mem.stats().comp[4 + static_cast<ComponentId>(before)].issued,
+        frozen);
+    EXPECT_GT(
+        mem.stats().comp[4 + static_cast<ComponentId>(target)].issued,
+        moving);
+}
+
 TEST_F(CompositeTest, DestinationOverridesApply)
 {
     CompositePrefetcher::Config config;
@@ -372,6 +422,22 @@ TEST(Registry, CompositeWithExtraHasExtraComponent)
     ASSERT_NE(tpc, nullptr);
     ASSERT_EQ(tpc->extras().size(), 1u);
     EXPECT_EQ(tpc->extras()[0]->name(), "SMS");
+}
+
+TEST(Registry, MultiExtraNameBuildsEnlargedComposite)
+{
+    MemoryImage image;
+    auto pf = makePrefetcher("TPC+SPP+Triangel+PChase", &image);
+    auto *tpc = dynamic_cast<CompositePrefetcher *>(pf.get());
+    ASSERT_NE(tpc, nullptr);
+    ASSERT_EQ(tpc->extras().size(), 3u);
+    EXPECT_EQ(tpc->extras()[0]->name(), "SPP");
+    EXPECT_EQ(tpc->extras()[1]->name(), "Triangel");
+    EXPECT_EQ(tpc->extras()[2]->name(), "PChase");
+
+    auto shunt = makePrefetcher("SHUNT:TPC+VLDP+SMS", &image);
+    ASSERT_NE(shunt.get(), nullptr);
+    EXPECT_GT(shunt->storageBits(), 0u);
 }
 
 } // namespace

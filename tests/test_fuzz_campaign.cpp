@@ -196,8 +196,11 @@ TEST(FuzzCampaign, InterruptedMutationCampaignResumesToBaseline)
  * The acceptance bar for the checker itself: each planted bug is
  * found within 200 cases and its reproducer shrinks to <= 100
  * records. kLruVictimOffByOne plants an eviction off-by-one,
- * kDropRebinding drops the coordinator's rebind-on-prefetch-hit, and
- * kT2ConfirmThreshold shifts T2's stride confirmation by one.
+ * kDropRebinding drops the coordinator's rebind-on-prefetch-hit,
+ * kT2ConfirmThreshold shifts T2's stride confirmation by one, and
+ * kRebindWrongExtra rebinds to the wrong extra only in >=3-extra
+ * composites — catching it proves the campaign exercises rebinding
+ * in the enlarged configuration, not just the classic two-extra one.
  */
 class MutationSelfTest : public ::testing::TestWithParam<Mutation>
 {
@@ -220,7 +223,8 @@ INSTANTIATE_TEST_SUITE_P(AllMutations, MutationSelfTest,
                          ::testing::Values(
                              Mutation::kLruVictimOffByOne,
                              Mutation::kDropRebinding,
-                             Mutation::kT2ConfirmThreshold),
+                             Mutation::kT2ConfirmThreshold,
+                             Mutation::kRebindWrongExtra),
                          [](const auto &info) {
                              return std::string(
                                  mutationName(info.param));

@@ -49,11 +49,14 @@ struct GoldenCell
  *  instruments: libquantum = strided T2 + coordinator claims, mcf =
  *  P1 producer confirmation + C1 verdicts, omnetpp = P1 chain
  *  start/advance FSM, bfs = C1 dense-region detection, SPP = the
- *  non-composite (extras-only) prefetcher path. */
+ *  non-composite (extras-only) prefetcher path, tempstream x the
+ *  enlarged composite = round-robin multi-extra routing plus the
+ *  temporal (Triangel) and pointer-chase extras' counters. */
 const GoldenCell kGoldenCells[] = {
     {"libquantum.syn", "TPC"}, {"mcf.syn", "TPC"},
     {"omnetpp.syn", "TPC"},    {"bfs.syn", "TPC"},
     {"libquantum.syn", "SPP"},
+    {"tempstream.syn", "TPC+SPP+Triangel+PChase"},
 };
 
 bool
@@ -191,7 +194,7 @@ cellName(const testing::TestParamInfo<GoldenCell> &info)
     std::string name = std::string(info.param.workload) + "_" +
                        info.param.prefetcher;
     for (char &c : name) {
-        if (c == '.' || c == '-')
+        if (c == '.' || c == '-' || c == '+')
             c = '_';
     }
     return name;

@@ -100,9 +100,11 @@ TEST(Suites, HaveTheExpectedShape)
     EXPECT_GE(cronoSuite().size(), 4u);
     EXPECT_GE(starbenchSuite().size(), 5u);
     EXPECT_GE(npbSuite().size(), 7u);
+    EXPECT_GE(temporalSuite().size(), 4u);
     EXPECT_EQ(allWorkloads().size(),
               speclikeSuite().size() + cronoSuite().size() +
-                  starbenchSuite().size() + npbSuite().size());
+                  starbenchSuite().size() + npbSuite().size() +
+                  temporalSuite().size());
 
     std::set<std::string> names;
     for (const auto &spec : allWorkloads()) {

@@ -85,7 +85,8 @@ usage()
         "usage: dolsim [options]\n"
         "  --list                     list workloads and exit\n"
         "  --workload NAME[,NAME...]  workloads to run\n"
-        "  --suite NAME               spec|crono|starbench|npb|all\n"
+        "  --suite NAME               "
+        "spec|crono|starbench|npb|temporal|all\n"
         "  --prefetcher NAME[,...]    registry names (default TPC)\n"
         "  --instrs N                 instruction budget (default "
         "200000)\n"
@@ -111,7 +112,7 @@ usage()
         "  --fuzz-dir DIR             shrunk-reproducer directory "
         "(default fuzz-repro)\n"
         "  --fuzz-mutate NAME         plant a reference-model bug "
-        "(lru|rebind|t2confirm)\n"
+        "(lru|rebind|t2confirm|rebind3)\n"
         "  --fuzz-replay FILE         re-check a shrunk reproducer "
         "(with --fuzz-case-seed)\n"
         "  --fuzz-case-seed S         case seed from the "
