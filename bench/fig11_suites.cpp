@@ -6,13 +6,16 @@
  * 1.39 vs 1.22-1.31 over 68 workloads).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <mutex>
 
 #include "bench/harness.hpp"
 #include "core/registry.hpp"
+#include "sim/contention.hpp"
 #include "sim/multicore.hpp"
+#include "workloads/contention.hpp"
 
 namespace
 {
@@ -85,6 +88,44 @@ registerMix(unsigned mix_index, const std::string &prefetcher,
         });
 }
 
+struct ContentionRecord
+{
+    std::string mix;
+    std::string prefetchers;
+    dol::FairnessMetrics fairness;
+};
+
+std::vector<ContentionRecord> &
+contentionRecords()
+{
+    static std::vector<ContentionRecord> records;
+    return records;
+}
+
+/**
+ * One parallel job per named contention mix: heterogeneous per-core
+ * prefetchers against per-core solo baselines, summarized by the
+ * fairness metrics (not the homogeneous weighted-speedup column
+ * above, which compares prefetchers on the same mix).
+ */
+void
+registerContentionMix(const dol::ContentionMix &mix, std::size_t slot)
+{
+    using namespace dol;
+    contentionRecords().resize(
+        std::max(contentionRecords().size(), slot + 1));
+    collector().addJob(
+        "contention/" + mix.name, [&mix, slot](ExperimentRunner &) {
+            SimConfig config = makeBenchConfig(40000);
+            const ContentionOutcome outcome =
+                runContentionScenario(config, mix);
+            contentionRecords()[slot] = {mix.name,
+                                         mixPrefetcherLabel(mix),
+                                         outcome.fairness};
+            return std::vector<RunOutput>{};
+        });
+}
+
 void
 printSummary()
 {
@@ -121,6 +162,22 @@ printSummary()
     table.print();
     std::printf("(paper: TPC 1.39 vs 1.22-1.31 across 68 "
                 "workloads)\n");
+
+    std::printf("\n== Heterogeneous contention mixes ==\n");
+    TextTable mix_table({"mix", "per-core prefetchers", "wspeedup",
+                         "hspeedup", "unfairness", "max slowdown"});
+    for (const ContentionRecord &record : contentionRecords()) {
+        double max_slowdown = 0.0;
+        for (double s : record.fairness.slowdown)
+            max_slowdown = std::max(max_slowdown, s);
+        mix_table.addRow(
+            {record.mix, record.prefetchers,
+             fmt("%.3f", record.fairness.weightedSpeedup),
+             fmt("%.3f", record.fairness.harmonicSpeedup),
+             fmt("%.3f", record.fairness.unfairness),
+             fmt("%.3f", max_slowdown)});
+    }
+    mix_table.print();
 }
 
 } // namespace
@@ -135,6 +192,9 @@ main(int argc, char **argv)
         for (unsigned m = 0; m < kNumMixes; ++m)
             registerMix(m, pf, slot++);
     }
+    std::size_t contention_slot = 0;
+    for (const dol::ContentionMix &mix : dol::contentionMixes())
+        registerContentionMix(mix, contention_slot++);
     return dol::bench::benchMain(argc, argv, &collector(),
                                  printSummary);
 }

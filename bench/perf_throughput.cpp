@@ -34,7 +34,9 @@
 #include "runner/json_writer.hpp"
 #include "runner/sweep.hpp"
 #include "sim/experiment.hpp"
+#include "sim/multicore.hpp"
 #include "sim/simulator.hpp"
+#include "workloads/contention.hpp"
 #include "workloads/suite.hpp"
 
 namespace
@@ -101,6 +103,40 @@ runCell(const SimConfig &config, const WorkloadSpec &spec,
         const CoreStats &stats = sim.core().stats();
         result.instructions = sim.instructions();
         result.accesses = stats.loads + stats.stores;
+        if (result.wallSeconds < 0.0 || elapsed < result.wallSeconds)
+            result.wallSeconds = elapsed;
+    }
+    return result;
+}
+
+/**
+ * One timed run of a heterogeneous contention mix: the full
+ * multicore interleave — shared L3/DRAM, per-core prefetchers,
+ * arbitration — measured the same way as a single-core cell.
+ * Instruction and access counts are summed over the cores.
+ */
+CellResult
+runMixCell(const SimConfig &config, const ContentionMix &mix,
+           unsigned reps)
+{
+    CellResult result;
+    result.workload = "mix:" + mix.name;
+    result.prefetcher = mixPrefetcherLabel(mix);
+    result.wallSeconds = -1.0;
+
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        MulticoreSimulator sim(config, mix.cores);
+        const double start = now();
+        sim.run();
+        const double elapsed = now() - start;
+
+        result.instructions = 0;
+        result.accesses = 0;
+        for (std::size_t i = 0; i < sim.numCores(); ++i) {
+            const CoreStats &stats = sim.core(i).core().stats();
+            result.instructions += sim.core(i).instructions();
+            result.accesses += stats.loads + stats.stores;
+        }
         if (result.wallSeconds < 0.0 || elapsed < result.wallSeconds)
             result.wallSeconds = elapsed;
     }
@@ -194,6 +230,23 @@ main(int argc, char **argv)
         }
     }
 
+    // Contention mix cells: the multicore interleave's throughput,
+    // per named mix (heterogeneous per-core prefetchers).
+    for (const ContentionMix &mix : contentionMixes()) {
+        if (cells.size() >= max_cells)
+            break;
+        cells.push_back(runMixCell(config, mix, reps));
+        if (!quiet) {
+            const CellResult &cell = cells.back();
+            std::fprintf(stderr,
+                         "%-16s %-8s %9.0f kacc/s  %9.0f kinstr/s\n",
+                         cell.workload.c_str(),
+                         cell.prefetcher.c_str(),
+                         cell.accessesPerSec() / 1e3,
+                         cell.instrsPerSec() / 1e3);
+        }
+    }
+
     // Multi-job pass: the same grid through the production sweep
     // machinery (baseline runs included, as a real sweep pays them).
     double sweep_wall = 0.0;
@@ -202,7 +255,9 @@ main(int argc, char **argv)
         runner::SweepRunner sweep(config,
                                   {.jobs = jobs, .progress = false});
         for (const CellResult &cell : cells) {
-            if (cell.prefetcher == "none")
+            // Mix cells run the multicore path, not a sweep cell.
+            if (cell.prefetcher == "none" ||
+                cell.workload.rfind("mix:", 0) == 0)
                 continue;
             sweep.addCell(findWorkload(cell.workload), cell.prefetcher);
         }

@@ -17,6 +17,8 @@ mutationName(Mutation mutation)
         return "t2confirm";
       case Mutation::kRebindWrongExtra:
         return "rebind3";
+      case Mutation::kArbitrationDrift:
+        return "arbdrift";
     }
     return "none";
 }
@@ -34,6 +36,8 @@ mutationFromName(const std::string &name)
         return Mutation::kT2ConfirmThreshold;
     if (name == "rebind3")
         return Mutation::kRebindWrongExtra;
+    if (name == "arbdrift")
+        return Mutation::kArbitrationDrift;
     return std::nullopt;
 }
 

@@ -35,6 +35,11 @@ enum class Mutation
      *  or more extras, so catching it proves the campaign exercises
      *  rebinding beyond the classic two-extra configuration. */
     kRebindWrongExtra,
+    /** Multicore self-test: the second run of a contention case
+     *  silently flips the DRAM arbitration policy. The double-run
+     *  byte-determinism check must notice, proving it would also
+     *  catch a real nondeterministic arbitration bug. */
+    kArbitrationDrift,
 };
 
 const char *mutationName(Mutation mutation);

@@ -83,7 +83,7 @@ Cache::insert(Addr line_addr, Line **out_line)
     if (victim_line->valid) {
         victim = Victim{victim_line->tag, victim_line->dirty,
                         victim_line->prefetched, victim_line->used,
-                        victim_line->comp};
+                        victim_line->comp, victim_line->owner};
     }
 
     *victim_line = Line{};

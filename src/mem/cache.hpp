@@ -51,6 +51,8 @@ class Cache
         bool prefetched = false; ///< installed by a prefetch
         bool used = false;       ///< has served a demand access
         ComponentId comp = kNoComponent;
+        /** Core that installed the line (shared-cache attribution). */
+        std::uint8_t owner = 0;
         Cycle readyAt = 0; ///< fill completion time
     };
 
@@ -62,6 +64,7 @@ class Cache
         bool prefetched = false;
         bool used = false;
         ComponentId comp = kNoComponent;
+        std::uint8_t owner = 0;
     };
 
     explicit Cache(const Params &params);

@@ -1,9 +1,39 @@
 #include "mem/dram.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace dol
 {
+
+const char *
+arbitrationName(ArbitrationPolicy policy)
+{
+    switch (policy) {
+    case ArbitrationPolicy::kFifo:
+        return "fifo";
+    case ArbitrationPolicy::kCoreRoundRobin:
+        return "rr";
+    case ArbitrationPolicy::kDemandFirst:
+        break;
+    }
+    return "demand-first";
+}
+
+bool
+arbitrationFromName(const std::string &name, ArbitrationPolicy &out)
+{
+    if (name == "demand-first") {
+        out = ArbitrationPolicy::kDemandFirst;
+    } else if (name == "fifo") {
+        out = ArbitrationPolicy::kFifo;
+    } else if (name == "rr") {
+        out = ArbitrationPolicy::kCoreRoundRobin;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 Dram::Dram(const DramParams &params)
     : _params(params), _channels(params.channels),
@@ -109,12 +139,99 @@ Dram::occupancy(Addr line_addr, Cycle now)
     return pruneQueue(_channels[channelOf(line_addr)], _clock);
 }
 
+Dram::ArbDelay
+Dram::arbitrationDelay(Channel &channel, Cycle now,
+                       std::uint8_t core) const
+{
+    ArbDelay result;
+    std::uint64_t slots = 0;
+    bool live_prefetch = false;
+    if (_params.arbitration == ArbitrationPolicy::kFifo) {
+        // Strict arrival order: one burst slot per live entry.
+        for (const QueueEntry &entry : channel.queue) {
+            if (entry.completion <= now)
+                continue;
+            ++slots;
+            live_prefetch |= entry.isPrefetch;
+        }
+    } else {
+        // Round-robin: wait behind every own entry, but at most
+        // (own + 1) entries of any competing core — a quiet core's
+        // first request slots in after one round of the busy cores.
+        std::array<std::uint64_t, 256> counts{};
+        for (const QueueEntry &entry : channel.queue) {
+            if (entry.completion <= now)
+                continue;
+            ++counts[entry.coreId];
+            live_prefetch |= entry.isPrefetch;
+        }
+        const std::uint64_t own = counts[core];
+        slots = own;
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+            if (c == core || counts[c] == 0)
+                continue;
+            slots += std::min(counts[c], own + 1);
+        }
+    }
+    result.cycles = slots * _params.tBurst;
+    result.behindPrefetch = slots > 0 && live_prefetch;
+    return result;
+}
+
+Cycle
+Dram::applyBandwidthWindow(Cycle now)
+{
+    const Cycle window =
+        _params.windowCycles > 0 ? _params.windowCycles : 1;
+    const std::uint64_t index = now / window;
+    if (index > _windowIndex) {
+        _windowIndex = index;
+        _windowLines = 0;
+    }
+    if (_windowLines >= _params.linesPerWindow) {
+        const Cycle boundary =
+            static_cast<Cycle>(_windowIndex + 1) * window;
+        _stats.bandwidthStallCycles += boundary - now;
+        ++_stats.windowDeferrals;
+        now = boundary;
+        _windowIndex = now / window;
+        _windowLines = 0;
+    }
+    ++_windowLines;
+    return now;
+}
+
 Dram::Result
 Dram::access(Addr line_addr, Cycle now, bool is_write, bool is_prefetch,
-             std::uint8_t priority)
+             std::uint8_t priority, std::uint8_t core)
 {
     Channel &channel = _channels[channelOf(line_addr)];
     _clock = std::max(_clock, now);
+
+    // Queue arbitration. kDemandFirst is the legacy zero-delay path:
+    // demands bypass queued prefetches and prefetches self-throttle
+    // at the occupancy limit upstream, so no extra delay is modelled.
+    if (_params.arbitration != ArbitrationPolicy::kDemandFirst) {
+        pruneQueue(channel, _clock);
+        const ArbDelay arb = arbitrationDelay(channel, _clock, core);
+        if (arb.cycles > 0) {
+            // The delay is relative to the request's own arrival, so
+            // a core that queues little is punished little (RR) or in
+            // proportion to the whole backlog (FIFO).
+            now += arb.cycles;
+            _clock = std::max(_clock, now);
+            _stats.arbDelayCycles += arb.cycles;
+            ++_stats.arbDelayedRequests;
+            if (!is_write && !is_prefetch && arb.behindPrefetch)
+                ++_stats.demandsDelayedByPrefetch;
+        }
+    }
+
+    // Bandwidth cap: defer over-quota requests to the next window.
+    if (_params.linesPerWindow > 0) {
+        now = applyBandwidthWindow(now);
+        _clock = std::max(_clock, now);
+    }
 
     if (pruneQueue(channel, _clock) >= _params.queueCapacity) {
         if (!makeRoom(channel, _clock, is_prefetch, priority)) {
@@ -158,9 +275,20 @@ Dram::access(Addr line_addr, Cycle now, bool is_write, bool is_prefetch,
     else
         ++_stats.reads;
 
+    // Per-core attribution: every counted line is charged to exactly
+    // one core, so the per-core sums equal linesTransferred().
+    if (core >= _coreLines.size())
+        _coreLines.resize(core + 1, 0);
+    ++_coreLines[core];
+    if (is_prefetch) {
+        if (core >= _corePrefetchLines.size())
+            _corePrefetchLines.resize(core + 1, 0);
+        ++_corePrefetchLines[core];
+    }
+
     if (channel.queue.size() < _params.queueCapacity) {
-        channel.queue.push_back(
-            {lineAddr(line_addr), completion, is_prefetch, priority});
+        channel.queue.push_back({lineAddr(line_addr), completion,
+                                 is_prefetch, priority, core});
     }
 
     return {completion, false};

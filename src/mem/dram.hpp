@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +33,32 @@ enum class DropPolicy : std::uint8_t
     kRandomPrefetch,      ///< default: drop a random queued prefetch
     kLowPriorityPrefetch, ///< drop the lowest-priority prefetch first
 };
+
+/**
+ * How the controller orders requests competing for a channel.
+ *
+ * kDemandFirst is the legacy behaviour and adds no queueing delay of
+ * its own: demands bypass queued prefetches (prefetches self-throttle
+ * at the occupancy limit upstream), so nothing extra is modelled.
+ * kFifo charges every request one burst slot per live queued entry
+ * ahead of it, regardless of type or origin — an aggressive co-runner
+ * can starve everyone. kCoreRoundRobin caps what one core can inflict
+ * on another: a request waits one slot per own queued entry plus at
+ * most (own + 1) slots per competing core.
+ */
+enum class ArbitrationPolicy : std::uint8_t
+{
+    kDemandFirst, ///< default: legacy zero-delay demand bypass
+    kFifo,        ///< strict arrival order across cores and types
+    kCoreRoundRobin, ///< per-core fair slotting
+};
+
+/** Canonical CLI/JSON name of an arbitration policy. */
+const char *arbitrationName(ArbitrationPolicy policy);
+
+/** Parse an arbitration name; returns false on unknown input. */
+bool arbitrationFromName(const std::string &name,
+                         ArbitrationPolicy &out);
 
 struct DramParams
 {
@@ -65,6 +92,18 @@ struct DramParams
 
     DropPolicy dropPolicy = DropPolicy::kRandomPrefetch;
 
+    ArbitrationPolicy arbitration = ArbitrationPolicy::kDemandFirst;
+
+    /**
+     * Bandwidth cap: lines the controller admits per windowCycles
+     * window across all channels. 0 disables the cap (default), which
+     * preserves the single-core timing exactly. When a window's quota
+     * is exhausted, the request is deferred to the next window
+     * boundary.
+     */
+    std::uint64_t linesPerWindow = 0;
+    Cycle windowCycles = nsToCycles(1000.0);
+
     /**
      * Seed for the random-drop victim RNG. Parallel sweeps derive
      * this from the cell key so a run's drop decisions never depend
@@ -81,6 +120,15 @@ struct DramStats
     std::uint64_t rowMisses = 0;
     std::uint64_t droppedPrefetches = 0;
     std::uint64_t queueFullDemandStalls = 0;
+    /** Total cycles added by fifo/round-robin queue arbitration. */
+    std::uint64_t arbDelayCycles = 0;
+    std::uint64_t arbDelayedRequests = 0;
+    /** Demand requests whose arbitration delay included at least one
+     *  live queued prefetch. Structurally zero under kDemandFirst. */
+    std::uint64_t demandsDelayedByPrefetch = 0;
+    /** Requests pushed to the next bandwidth window. */
+    std::uint64_t windowDeferrals = 0;
+    std::uint64_t bandwidthStallCycles = 0;
 };
 
 class Dram
@@ -105,9 +153,11 @@ class Dram
      * @param is_write  writeback traffic (never dropped)
      * @param is_prefetch prefetch fill (candidate for dropping)
      * @param priority  higher value = more confident prefetch
+     * @param core      originating core, for attribution/arbitration
      */
     Result access(Addr line_addr, Cycle now, bool is_write,
-                  bool is_prefetch = false, std::uint8_t priority = 0);
+                  bool is_prefetch = false, std::uint8_t priority = 0,
+                  std::uint8_t core = 0);
 
     void setCancelHook(CancelHook hook) { _cancel = std::move(hook); }
 
@@ -124,6 +174,22 @@ class Dram
         return _stats.reads + _stats.writes;
     }
 
+    /** Lines attributed to @p core (sums to linesTransferred). */
+    std::uint64_t
+    coreLines(unsigned core) const
+    {
+        return core < _coreLines.size() ? _coreLines[core] : 0;
+    }
+
+    /** Prefetch lines attributed to @p core. */
+    std::uint64_t
+    corePrefetchLines(unsigned core) const
+    {
+        return core < _corePrefetchLines.size()
+                   ? _corePrefetchLines[core]
+                   : 0;
+    }
+
   private:
     struct Bank
     {
@@ -137,6 +203,7 @@ class Dram
         Cycle completion = 0;
         bool isPrefetch = false;
         std::uint8_t priority = 0;
+        std::uint8_t coreId = 0;
     };
 
     struct Channel
@@ -160,11 +227,29 @@ class Dram
     bool makeRoom(Channel &channel, Cycle now, bool incoming_is_prefetch,
                   std::uint8_t incoming_priority);
 
+    struct ArbDelay
+    {
+        Cycle cycles = 0;
+        bool behindPrefetch = false;
+    };
+
+    /** Queue-arbitration delay for a request arriving at @p now. */
+    ArbDelay arbitrationDelay(Channel &channel, Cycle now,
+                              std::uint8_t core) const;
+
+    /** Bandwidth-window throttle; may defer @p now to a boundary. */
+    Cycle applyBandwidthWindow(Cycle now);
+
     DramParams _params;
     std::vector<Channel> _channels;
     DramStats _stats;
+    std::vector<std::uint64_t> _coreLines;
+    std::vector<std::uint64_t> _corePrefetchLines;
     /** Monotonic controller clock for occupancy decisions. */
     Cycle _clock = 0;
+    /** Bandwidth-window state: current window index and lines used. */
+    std::uint64_t _windowIndex = 0;
+    std::uint64_t _windowLines = 0;
     Rng _rng;
     CancelHook _cancel;
 };

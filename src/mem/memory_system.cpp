@@ -197,11 +197,16 @@ MemorySystem::handleVictim(unsigned level, const Cache::Victim &victim,
                                              victim.lineAddr);
         }
     }
+    if (level == kL3 && victim.owner != _coreId)
+        ++_shared->shareStatsFor(_coreId).l3EvictionsOfOthers;
     if (!victim.dirty)
         return;
     ++ls.writebacks;
     if (level == kL3) {
-        _shared->_dram.access(victim.lineAddr, now, /*is_write=*/true);
+        // Charge the writeback to the core whose dirty data it is.
+        _shared->_dram.access(victim.lineAddr, now, /*is_write=*/true,
+                              /*is_prefetch=*/false, /*priority=*/0,
+                              victim.owner);
         return;
     }
     // Write the dirty line into the next level down.
@@ -232,6 +237,9 @@ MemorySystem::fillLine(unsigned level, Addr line, Cycle completion,
     filled->prefetched = prefetched;
     filled->comp = comp;
     filled->dirty = dirty;
+    filled->owner = _coreId;
+    if (level == kL3)
+        ++_shared->shareStatsFor(_coreId).l3Insertions;
     if (victim)
         handleVictim(level, *victim, now);
 }
@@ -364,7 +372,9 @@ MemorySystem::demandAccess(Addr addr, Pc pc, Cycle when, bool is_store)
 
     // Missed the whole hierarchy: fetch the line from DRAM.
     const auto dram_result =
-        _shared->_dram.access(line, now, /*is_write=*/false);
+        _shared->_dram.access(line, now, /*is_write=*/false,
+                              /*is_prefetch=*/false, /*priority=*/0,
+                              _coreId);
     const Cycle completion = dram_result.completion;
 
     for (unsigned lv = 0; lv < kNumCacheLevels; ++lv) {
@@ -437,7 +447,7 @@ MemorySystem::prefetch(Addr addr, unsigned dest_level, ComponentId comp,
     if (src_level == kNumCacheLevels) {
         const auto dram_result = _shared->_dram.access(
             line, now, /*is_write=*/false, /*is_prefetch=*/true,
-            priority);
+            priority, _coreId);
         if (dram_result.dropped) {
             ++_stats.comp[comp].droppedQueue;
             DOL_TRACE_EVENT(_trace, TraceEventType::kPrefetchDropped,

@@ -99,6 +99,15 @@ struct MemStats
 
 class MemorySystem;
 
+/** Per-core footprint in the shared levels (contention attribution). */
+struct CoreShareStats
+{
+    /** Lines this core installed into the shared L3. */
+    std::uint64_t l3Insertions = 0;
+    /** Valid L3 lines this core displaced that another core owned. */
+    std::uint64_t l3EvictionsOfOthers = 0;
+};
+
 /** State shared by all cores: L3, its shadow, and the DRAM channel. */
 class SharedMemory
 {
@@ -109,6 +118,13 @@ class SharedMemory
     Cache &shadowL3() { return _shadowL3; }
     Dram &dram() { return _dram; }
     const Dram &dram() const { return _dram; }
+
+    /** Shared-L3 attribution for @p core (zeroes when untracked). */
+    const CoreShareStats &coreShare(unsigned core) const
+    {
+        static const CoreShareStats kEmpty{};
+        return core < _coreShare.size() ? _coreShare[core] : kEmpty;
+    }
 
     /** Baseline DRAM traffic, in lines (shadow L3 misses + WBs). */
     std::uint64_t
@@ -124,12 +140,20 @@ class SharedMemory
   private:
     friend class MemorySystem;
 
+    CoreShareStats &shareStatsFor(unsigned core)
+    {
+        if (core >= _coreShare.size())
+            _coreShare.resize(core + 1);
+        return _coreShare[core];
+    }
+
     Cache _l3;
     Cache _shadowL3;
     Dram _dram;
     std::uint64_t _shadowDramReads = 0;
     std::uint64_t _shadowDramWrites = 0;
     std::vector<MemorySystem *> _cores;
+    std::vector<CoreShareStats> _coreShare;
 };
 
 /** Outcome of a prefetch request. */
@@ -173,6 +197,17 @@ class MemorySystem : public DataPort
 
     /** Attach the observability event bus (nullptr = tracing off). */
     void setTraceContext(TraceContext *trace) { _trace = trace; }
+
+    /**
+     * Identify this hierarchy's core for shared-resource attribution
+     * (DRAM lines, L3 insertions/evictions). Defaults to 0, so the
+     * single-core path is unchanged.
+     */
+    void setCoreId(unsigned id)
+    {
+        _coreId = static_cast<std::uint8_t>(id);
+    }
+    unsigned coreId() const { return _coreId; }
 
     /** Fold the per-level stats into @p registry (end of run). */
     void exportCounters(CounterRegistry &registry) const;
@@ -239,6 +274,7 @@ class MemorySystem : public DataPort
     MemListener *_listener = nullptr;
     TraceContext *_trace = nullptr;
     MemStats _stats;
+    std::uint8_t _coreId = 0;
     std::vector<ComponentId> _compScratch;
 };
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Contention scenario driver: runs a named heterogeneous mix, runs
+ * each core's workload solo against an equally sized L3 (the fairness
+ * literature's baseline), and derives slowdown / weighted speedup /
+ * harmonic speedup / unfairness. Everything lands in one counter
+ * registry — per-core scopes plus shared-channel scopes — so a
+ * scenario folds into dol-sweep-v1 JSON and golden snapshots through
+ * the existing machinery. Fractional metrics are exported as
+ * milli-scaled integers (value × 1000, rounded) because the registry
+ * is uint64-only.
+ */
+
+#ifndef DOL_SIM_CONTENTION_HPP
+#define DOL_SIM_CONTENTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/multicore.hpp"
+#include "trace/counters.hpp"
+#include "workloads/contention.hpp"
+
+namespace dol
+{
+
+/** Everything a contention scenario run produces. */
+struct ContentionOutcome
+{
+    std::string mixName;
+    MulticoreResult result;
+    /** Per-core solo IPC (same L3 capacity as the mix run). */
+    std::vector<double> soloIpc;
+    FairnessMetrics fairness;
+    /** Merged per-core + shared + fairness counter snapshot. */
+    CounterRegistry counters;
+};
+
+/**
+ * Run @p mix under @p config: solo baseline per core, then the
+ * contended mix, then fairness metrics over the two.
+ */
+ContentionOutcome runContentionScenario(const SimConfig &config,
+                                        const ContentionMix &mix);
+
+/**
+ * Fold a scenario outcome into a sweep row: workload "mix:<name>",
+ * prefetcher = per-core names joined with '|', ipc = mix IPC sum,
+ * baselineIpc = solo IPC sum, counters = the merged snapshot.
+ */
+RunOutput contentionRunOutput(const ContentionOutcome &outcome,
+                              const ContentionMix &mix);
+
+} // namespace dol
+
+#endif // DOL_SIM_CONTENTION_HPP

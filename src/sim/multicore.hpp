@@ -1,9 +1,16 @@
 /**
  * @file
- * Four-core multiprogrammed simulation (paper section V-A): private
- * L1/L2 and per-core prefetchers over a shared L3 and DRAM channel.
- * Cores are interleaved in simulated-time order so they contend for
- * the shared levels realistically.
+ * Multiprogrammed simulation (paper section V-A): private L1/L2 and
+ * per-core prefetchers over a shared L3 and DRAM channel. Cores are
+ * interleaved in simulated-time order so they contend for the shared
+ * levels realistically.
+ *
+ * Cores are heterogeneous: each CoreSpec names its own workload,
+ * prefetcher and instruction budget, so a mix can pit an enlarged
+ * composite against a bare pointer-chase prefetcher. Shared-resource
+ * attribution (per-core DRAM lines, L3 insertions, evictions of
+ * other cores' lines) and the fairness metrics built on solo
+ * baselines live here too.
  */
 
 #ifndef DOL_SIM_MULTICORE_HPP
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "workloads/contention.hpp"
 #include "workloads/suite.hpp"
 
 namespace dol
@@ -22,13 +30,28 @@ namespace dol
 struct MulticoreResult
 {
     std::vector<double> ipc; ///< per-core IPC, in mix
+    std::vector<std::uint64_t> instructions; ///< per-core retired
+    /** Per-core shared-resource attribution, index = core. */
+    std::vector<std::uint64_t> coreDramLines;
+    std::vector<std::uint64_t> corePrefetchLines;
+    std::vector<std::uint64_t> coreL3Insertions;
+    std::vector<std::uint64_t> coreL3EvictionsOfOthers;
+    std::vector<std::uint64_t> coreL3MshrStalls;
     std::uint64_t dramLines = 0;
     std::uint64_t baselineDramLines = 0;
     std::uint64_t droppedPrefetches = 0;
+    /** Shared-channel arbitration/bandwidth pressure (DramStats). */
+    std::uint64_t arbDelayCycles = 0;
+    std::uint64_t demandsDelayedByPrefetch = 0;
+    std::uint64_t windowDeferrals = 0;
 
     /**
      * Weighted speedup against a baseline mix run: mean of per-core
-     * IPC ratios.
+     * IPC ratios over the cores comparable in both runs (same index,
+     * baseline IPC > 0). Returns 0.0 when no core is comparable —
+     * an explicit "no data" sentinel rather than a fake parity of
+     * 1.0 — so degenerate inputs (empty vectors, all-zero baseline,
+     * disjoint lengths) cannot masquerade as a neutral result.
      */
     double
     weightedSpeedup(const MulticoreResult &baseline) const
@@ -42,31 +65,74 @@ struct MulticoreResult
                 ++n;
             }
         }
-        return n ? sum / n : 1.0;
+        return n ? sum / n : 0.0;
     }
 };
+
+/**
+ * Fairness metrics over a mix run and its solo baselines
+ * (slowdown_i = soloIpc_i / mixIpc_i, the classic definition).
+ * Cores with zero solo or mix IPC are excluded; all aggregate
+ * metrics are 0.0 when no core qualifies.
+ */
+struct FairnessMetrics
+{
+    std::vector<double> slowdown; ///< per core; 0.0 = not comparable
+    double weightedSpeedup = 0.0; ///< mean of mix/solo ratios
+    double harmonicSpeedup = 0.0; ///< n / sum(solo/mix)
+    double unfairness = 0.0;      ///< max slowdown / min slowdown
+};
+
+/** Compute fairness metrics from solo and mix per-core IPC. */
+FairnessMetrics computeFairness(const std::vector<double> &solo_ipc,
+                                const std::vector<double> &mix_ipc);
 
 class MulticoreSimulator
 {
   public:
     /**
-     * @param mix             one workload per core
+     * Heterogeneous mix: one CoreSpec per core, each naming its own
+     * workload, prefetcher, and optional instruction budget.
+     */
+    MulticoreSimulator(const SimConfig &config,
+                       const std::vector<CoreSpec> &specs);
+
+    /**
+     * Homogeneous legacy form: one workload per core, every core
+     * running the same prefetcher configuration.
+     *
      * @param prefetcher_name registry name; empty = no prefetching
      */
     MulticoreSimulator(const SimConfig &config,
                        const std::vector<WorkloadSpec> &mix,
                        const std::string &prefetcher_name);
 
-    /** Run every core to the per-core instruction budget. */
+    /** Run every core to its instruction budget. */
     MulticoreResult run();
 
+    std::size_t numCores() const { return _cores.size(); }
+    Simulator &core(std::size_t i) { return *_cores[i]; }
+    const Simulator &core(std::size_t i) const { return *_cores[i]; }
+    SharedMemory &shared() { return *_shared; }
+
+    /**
+     * Harvest every core's counters under a "coreN." scope prefix
+     * plus the shared-channel and per-core attribution scopes. The
+     * merged registry serializes byte-identically across runs, the
+     * property the golden cell and differential fuzzer pin down.
+     */
+    void exportCounters(CounterRegistry &registry) const;
+
   private:
+    void addCore(const CoreSpec &spec);
+
     SimConfig _config;
     std::shared_ptr<SharedMemory> _shared;
     std::vector<std::unique_ptr<MemoryImage>> _images;
     std::vector<std::unique_ptr<Kernel>> _kernels;
     std::vector<std::unique_ptr<Prefetcher>> _prefetchers;
     std::vector<std::unique_ptr<Simulator>> _cores;
+    std::vector<std::uint64_t> _budgets;
 };
 
 } // namespace dol

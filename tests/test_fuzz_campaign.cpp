@@ -16,6 +16,7 @@
 
 #include "check/campaign.hpp"
 #include "check/fuzz_workload.hpp"
+#include "check/multicore_check.hpp"
 #include "workloads/trace_file.hpp"
 
 namespace dol::check
@@ -217,6 +218,39 @@ TEST_P(MutationSelfTest, CaughtWithinBudgetAndShrinksSmall)
     EXPECT_LE(probe.shrunk.size(), 100u)
         << "shrunk reproducer too large for "
         << mutationName(GetParam());
+}
+
+/**
+ * Multicore differential campaign: heterogeneous 2- and 4-core mixes
+ * double-run to byte-identical counter registries with per-core DRAM
+ * attribution summing to the shared total.
+ */
+TEST(MulticoreFuzz, CleanCampaignReportsZeroFailures)
+{
+    MulticoreCampaignOptions options;
+    options.cases = 40;
+    options.seed = 1;
+    const MulticoreCampaignReport report =
+        runMulticoreCampaign(options);
+    EXPECT_TRUE(report.ok()) << report.summaryText();
+    EXPECT_EQ(report.summaryText(),
+              "multicore fuzz: 40 cases, seed 1, 0 failures\n");
+}
+
+/**
+ * Self-test for the multicore checker's teeth: a planted arbitration
+ * drift (the second run silently flips fifo <-> demand-first) must
+ * surface as a counter divergence within the case budget. Catching
+ * it proves the double-run comparison actually covers the
+ * shared-channel arbitration path.
+ */
+TEST(MulticoreFuzz, ArbitrationDriftMutationIsCaught)
+{
+    const std::uint64_t index =
+        probeMulticoreMutation(7, 200, Mutation::kArbitrationDrift);
+    ASSERT_NE(index, UINT64_MAX)
+        << "arbdrift survived 200 multicore fuzz cases undetected";
+    EXPECT_LT(index, 200u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMutations, MutationSelfTest,

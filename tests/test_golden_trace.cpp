@@ -27,7 +27,9 @@
 #include <gtest/gtest.h>
 
 #include "runner/sweep.hpp"
+#include "sim/contention.hpp"
 #include "sim/experiment.hpp"
+#include "workloads/contention.hpp"
 #include "workloads/suite.hpp"
 
 namespace
@@ -138,15 +140,11 @@ describeDiff(const std::string &expected, const std::string &actual)
     return out;
 }
 
-class GoldenTrace : public testing::TestWithParam<GoldenCell>
-{};
-
-TEST_P(GoldenTrace, MatchesCheckedInSnapshot)
+/** Shared compare-or-regenerate logic for one golden file. */
+void
+checkGolden(const std::string &path, const std::string &fresh,
+            const std::string &what)
 {
-    const GoldenCell &cell = GetParam();
-    const std::string path = goldenPath(cell);
-    const std::string fresh = runSnapshot(cell);
-
     if (updateGolden()) {
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         ASSERT_TRUE(out.good()) << "cannot write " << path;
@@ -160,12 +158,57 @@ TEST_P(GoldenTrace, MatchesCheckedInSnapshot)
     ASSERT_TRUE(ok) << "missing golden file " << path
                     << " (run with --update-golden to create it)";
     EXPECT_EQ(golden, fresh)
-        << "golden snapshot drifted for " << cell.workload << "/"
-        << cell.prefetcher << ":\n"
+        << "golden snapshot drifted for " << what << ":\n"
         << describeDiff(golden, fresh)
         << "If the behaviour change is intentional, regenerate with\n"
         << "  ./test_golden_trace --update-golden\n"
         << "and commit the updated " << path;
+}
+
+class GoldenTrace : public testing::TestWithParam<GoldenCell>
+{};
+
+TEST_P(GoldenTrace, MatchesCheckedInSnapshot)
+{
+    const GoldenCell &cell = GetParam();
+    checkGolden(goldenPath(cell), runSnapshot(cell),
+                std::string(cell.workload) + "/" + cell.prefetcher);
+}
+
+/**
+ * Multicore golden cell: the stream-starves-pchase mix (two cores,
+ * two distinct per-core prefetchers) under FIFO arbitration, seeded
+ * exactly like the contention sweep seeds it, snapshotting the merged
+ * per-core + fairness + shared-channel counter registry. Pins down
+ * the interleaving, the shared-L3 ownership accounting, and the
+ * arbitration delay model in one file.
+ */
+TEST(GoldenMix, StreamStarvesPchaseMatchesSnapshot)
+{
+    const char *const kMixName = "stream_starves_pchase";
+    constexpr std::uint64_t kMixInstrs = 20000;
+    const ContentionMix &mix = findContentionMix(kMixName);
+
+    SimConfig config;
+    config.maxInstrs = kMixInstrs;
+    config.mem.dram.arbitration = ArbitrationPolicy::kFifo;
+    // Mirror the sweep's per-cell seeding (label, "", variant).
+    config.mem.dram.rngSeed = runner::cellSeed(
+        std::string("mix:") + kMixName, "", ":arb=fifo");
+
+    const ContentionOutcome outcome =
+        runContentionScenario(config, mix);
+
+    std::string fresh = "dol-golden-v1 mix:";
+    fresh += kMixName;
+    fresh += ' ';
+    fresh += mixPrefetcherLabel(mix);
+    fresh += " instrs=" + std::to_string(kMixInstrs) + "\n";
+    fresh += outcome.counters.toText();
+
+    checkGolden(std::string(DOL_GOLDEN_DIR) +
+                    "/mix.stream_starves_pchase.fifo.golden",
+                fresh, std::string("mix:") + kMixName);
 }
 
 /** The fnv64 digest line is the strongest single check: it covers the

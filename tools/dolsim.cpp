@@ -26,14 +26,17 @@
 #include <csignal>
 
 #include "check/campaign.hpp"
+#include "check/multicore_check.hpp"
 #include "common/log.hpp"
 #include "metrics/table.hpp"
 #include "runner/cli.hpp"
 #include "runner/fault.hpp"
 #include "runner/sweep.hpp"
 #include "runner/thread_pool.hpp"
+#include "sim/contention.hpp"
 #include "sim/experiment.hpp"
 #include "trace/trace_io.hpp"
+#include "workloads/contention.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/trace_file.hpp"
 
@@ -60,8 +63,14 @@ struct Options
     std::string dumpTrace; ///< dump a binary event trace as text
     std::string dest; ///< "", "l1", "l2", "stratified"
 
+    // Multi-core contention scenarios (src/sim/contention.hpp).
+    std::vector<std::string> mixes; ///< named contention mixes
+    std::vector<std::string> arbitrations{"demand-first"};
+    bool listMixes = false;
+
     // Differential fuzzing (src/check/).
     std::uint64_t fuzz = 0; ///< campaign size; 0 = no campaign
+    std::uint64_t fuzzMulticore = 0; ///< multicore campaign size
     std::uint64_t fuzzSeed = 1;
     std::string fuzzDir = "fuzz-repro";
     std::string fuzzMutate; ///< reference-model mutation (self-test)
@@ -105,14 +114,23 @@ usage()
         "text and exit\n"
         "  --counters                 collect decision counters "
         "(JSON \"counters\")\n"
+        "  --list-mixes               list contention mixes and exit\n"
+        "  --mix NAME[,NAME...]       run named contention mixes "
+        "(heterogeneous cores,\n"
+        "                             solo baselines, fairness "
+        "metrics)\n"
+        "  --arbitration P[,P...]     DRAM arbitration per mix run: "
+        "demand-first|fifo|rr\n"
         "  --fuzz N                   run an N-case differential "
         "fuzz campaign\n"
+        "  --fuzz-multicore N         run an N-case multicore "
+        "determinism/attribution campaign\n"
         "  --fuzz-seed S              campaign master seed "
         "(default 1)\n"
         "  --fuzz-dir DIR             shrunk-reproducer directory "
         "(default fuzz-repro)\n"
         "  --fuzz-mutate NAME         plant a reference-model bug "
-        "(lru|rebind|t2confirm|rebind3)\n"
+        "(lru|rebind|t2confirm|rebind3|arbdrift)\n"
         "  --fuzz-replay FILE         re-check a shrunk reproducer "
         "(with --fuzz-case-seed)\n"
         "  --fuzz-case-seed S         case seed from the "
@@ -197,11 +215,26 @@ parse(int argc, char **argv)
             options.trace = nextPath();
         } else if (arg == "--dump-trace") {
             options.dumpTrace = nextPath();
+        } else if (arg == "--list-mixes") {
+            options.listMixes = true;
+        } else if (arg == "--mix") {
+            for (const auto &name : splitCommas(next()))
+                options.mixes.push_back(name);
+        } else if (arg == "--arbitration") {
+            options.arbitrations = splitCommas(next());
+            if (options.arbitrations.empty())
+                dol::fatal("empty --arbitration list");
         } else if (arg == "--fuzz") {
             const std::string value = next();
             if (!parseUnsignedInRange(value, 1, UINT64_MAX,
                                       options.fuzz)) {
                 dol::fatal("bad --fuzz value: " + value);
+            }
+        } else if (arg == "--fuzz-multicore") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 1, UINT64_MAX,
+                                      options.fuzzMulticore)) {
+                dol::fatal("bad --fuzz-multicore value: " + value);
             }
         } else if (arg == "--fuzz-seed") {
             const std::string value = next();
@@ -293,6 +326,17 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (options.listMixes) {
+        TextTable table({"mix", "cores", "prefetchers", "description"});
+        for (const ContentionMix &mix : contentionMixes()) {
+            table.addRow({mix.name,
+                          std::to_string(mix.cores.size()),
+                          mixPrefetcherLabel(mix), mix.description});
+        }
+        table.print();
+        return 0;
+    }
+
     if (!options.dumpTrace.empty()) {
         std::string error;
         if (!dumpTraceText(options.dumpTrace, stdout, &error)) {
@@ -360,6 +404,17 @@ main(int argc, char **argv)
             std::error_code ec;
             std::filesystem::remove(options.checkpoint, ec);
         }
+        return report.ok() ? 0 : 1;
+    }
+
+    if (options.fuzzMulticore > 0) {
+        check::MulticoreCampaignOptions campaign;
+        campaign.cases = options.fuzzMulticore;
+        campaign.seed = options.fuzzSeed;
+        campaign.mutation = *mutation;
+        const check::MulticoreCampaignReport report =
+            check::runMulticoreCampaign(campaign);
+        std::fputs(report.summaryText().c_str(), stdout);
         return report.ok() ? 0 : 1;
     }
 
@@ -433,7 +488,30 @@ main(int argc, char **argv)
         options.dest.empty() ? "" : ":" + options.dest;
     const bool single_cell =
         specs.size() == 1 && options.prefetchers.size() == 1;
-    if (options.trace.empty()) {
+    if (!options.mixes.empty()) {
+        // Contention scenarios: one job per (mix, arbitration). The
+        // job runs the solo baselines and the contended mix itself;
+        // the row's counters carry per-core attribution + fairness.
+        for (const std::string &mix_name : options.mixes) {
+            const ContentionMix &mix = findContentionMix(mix_name);
+            for (const std::string &arb_name : options.arbitrations) {
+                ArbitrationPolicy policy;
+                if (!arbitrationFromName(arb_name, policy))
+                    fatal("bad --arbitration value: " + arb_name);
+                sweep.addJob(
+                    "mix:" + mix.name,
+                    [&mix, policy](ExperimentRunner &runner) {
+                        SimConfig job_config = runner.config();
+                        job_config.mem.dram.arbitration = policy;
+                        const ContentionOutcome outcome =
+                            runContentionScenario(job_config, mix);
+                        return std::vector<RunOutput>{
+                            contentionRunOutput(outcome, mix)};
+                    },
+                    ":arb=" + arb_name);
+            }
+        }
+    } else if (options.trace.empty()) {
         sweep.addGrid(specs, options.prefetchers, run_options, variant);
     } else {
         // Tracing: each cell gets its own private file. A single cell
