@@ -1,0 +1,374 @@
+#include "fleet/coordinator.hpp"
+
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+
+namespace dol::fleet
+{
+
+using runner::CheckpointReader;
+using runner::FramedReader;
+using runner::JournalPlan;
+using runner::JournalRecord;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Mark every journaled cell (done or failed) of @p path covered. */
+void
+scanCoverage(const std::string &path, std::vector<bool> &covered,
+             std::uint64_t &covered_count)
+{
+    CheckpointReader reader;
+    if (!reader.open(path))
+        return;
+    FramedReader::Record rec;
+    while (reader.next(rec)) {
+        const auto type = static_cast<JournalRecord>(rec.type);
+        if (type != JournalRecord::kJobDone &&
+            type != JournalRecord::kCellFailed)
+            continue;
+        std::uint64_t cell = 0;
+        if (!runner::decodeJobIndex(rec.payload, cell))
+            continue;
+        if (cell < covered.size() && !covered[cell]) {
+            covered[cell] = true;
+            ++covered_count;
+        }
+    }
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/** A granted-but-not-yet-spawned or re-granted range. */
+struct PendingLease
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t parentLease = kNoParentLease;
+};
+
+struct ActiveWorker
+{
+    pid_t pid = -1;
+    LeaseGrant grant;
+    std::uint64_t journalBytes = 0;
+    Clock::time_point lastProgress;
+};
+
+} // namespace
+
+FleetCoordinator::FleetCoordinator(JournalPlan plan,
+                                   FleetOptions options,
+                                   SpawnWorker spawn)
+    : _plan(plan), _options(std::move(options)),
+      _spawn(std::move(spawn))
+{}
+
+FleetReport
+FleetCoordinator::run(runner::SweepMeta meta)
+{
+    FleetReport report;
+    const auto started = Clock::now();
+    const auto say = [&](const std::string &line) {
+        if (_options.verbose)
+            std::fprintf(stderr, "[fleet] %s\n", line.c_str());
+    };
+    const auto failFleet = [&](const std::string &why) {
+        report.ok = false;
+        report.error = why;
+        return report;
+    };
+
+    if (_plan.itemCount == 0)
+        return failFleet("fleet sweep has no cells");
+    if (_options.workers == 0)
+        return failFleet("fleet needs at least one worker");
+
+    std::error_code ec;
+    std::filesystem::create_directories(_options.leaseDir, ec);
+    if (ec)
+        return failFleet("cannot create lease dir " +
+                         _options.leaseDir + ": " + ec.message());
+
+    std::vector<bool> covered(_plan.itemCount, false);
+    std::uint64_t coveredCount = 0;
+    std::deque<PendingLease> pending;
+    std::vector<LeaseGrant> granted; // every grant, lease-id order
+    std::uint64_t nextLeaseId = 1;
+
+    // Fresh ledger, or replay one a killed coordinator left behind:
+    // expire whatever was outstanding, count journaled cells as
+    // covered, and queue only the gaps.
+    LeaseLedger ledger;
+    const std::string ledger_path = ledgerPath(_options.leaseDir);
+    const LeaseLedger::Load prior = LeaseLedger::load(ledger_path);
+    if (prior.fileExists) {
+        if (!prior.valid)
+            return failFleet(prior.error);
+        if (!prior.consistent)
+            return failFleet("lease ledger is inconsistent: " +
+                             prior.inconsistency);
+        if (!prior.plan || !(*prior.plan == _plan))
+            return failFleet(
+                "lease ledger was written for a different sweep");
+        std::string error;
+        if (!ledger.openAppend(ledger_path, prior.goodBytes, &error))
+            return failFleet(error);
+        granted = prior.grants;
+        for (const LeaseGrant &grant : granted) {
+            nextLeaseId = std::max(nextLeaseId, grant.leaseId + 1);
+            scanCoverage(
+                leaseJournalPath(_options.leaseDir, grant.leaseId),
+                covered, coveredCount);
+        }
+        for (const LeaseGrant &grant : granted) {
+            const bool settled =
+                std::count(prior.completed.begin(),
+                           prior.completed.end(), grant.leaseId) ||
+                std::count(prior.expired.begin(), prior.expired.end(),
+                           grant.leaseId);
+            if (!settled) {
+                ledger.appendExpire(grant.leaseId);
+                ++report.leasesExpired;
+                say("resume: expired outstanding lease " +
+                    std::to_string(grant.leaseId));
+            }
+        }
+        // Maximal uncovered runs become fresh leases. Generation 1:
+        // never fault-injected again, like any other re-grant.
+        for (std::uint64_t cell = 0; cell < covered.size();) {
+            if (covered[cell]) {
+                ++cell;
+                continue;
+            }
+            std::uint64_t end = cell;
+            while (end < covered.size() && !covered[end])
+                ++end;
+            pending.push_back(PendingLease{cell, end, 1});
+            cell = end;
+        }
+        say("resume: " + std::to_string(coveredCount) + "/" +
+            std::to_string(_plan.itemCount) + " cells covered, " +
+            std::to_string(pending.size()) + " gap lease(s)");
+    } else {
+        std::string error;
+        if (!ledger.create(ledger_path, _plan, &error))
+            return failFleet(error);
+        const unsigned target = _options.leases
+                                    ? _options.leases
+                                    : _options.workers * 2;
+        for (const auto &[begin, end] :
+             runner::partitionRange(_plan.itemCount, target))
+            pending.push_back(PendingLease{begin, end, 0});
+    }
+
+    std::vector<ActiveWorker> active;
+    const auto killEverything = [&] {
+        for (ActiveWorker &worker : active) {
+            kill(worker.pid, SIGKILL);
+            int status = 0;
+            waitpid(worker.pid, &status, 0);
+        }
+        active.clear();
+    };
+
+    // Expire a dead lease and queue its uncovered remainder — the
+    // exactly-one successor the ledger consistency check enforces.
+    std::string fatal;
+    const auto expireAndRegrant = [&](const LeaseGrant &grant) {
+        ledger.appendExpire(grant.leaseId);
+        ++report.leasesExpired;
+        std::uint64_t first = grant.begin;
+        while (first < grant.end && covered[first])
+            ++first;
+        if (first >= grant.end)
+            return; // died after covering everything; nothing to do
+        if (grant.generation + 1 > _options.maxGenerations) {
+            fatal = "cells [" + std::to_string(first) + ", " +
+                    std::to_string(grant.end) + ") exhausted " +
+                    std::to_string(_options.maxGenerations) +
+                    " lease generations";
+            return;
+        }
+        say("expire lease " + std::to_string(grant.leaseId) +
+            ", re-granting [" + std::to_string(first) + ", " +
+            std::to_string(grant.end) + ")");
+        pending.push_front(PendingLease{first, grant.end,
+                                        grant.generation + 1,
+                                        grant.leaseId});
+    };
+
+    // One worker accounted for: update coverage from its journal,
+    // then settle its lease as complete or expired+re-granted.
+    const auto settle = [&](const ActiveWorker &worker) {
+        const std::string journal = leaseJournalPath(
+            _options.leaseDir, worker.grant.leaseId);
+        scanCoverage(journal, covered, coveredCount);
+        bool complete = true;
+        for (std::uint64_t cell = worker.grant.begin;
+             cell < worker.grant.end && complete; ++cell)
+            complete = covered[cell];
+        if (complete) {
+            ledger.appendComplete(worker.grant.leaseId);
+            ++report.leasesCompleted;
+            say("lease " + std::to_string(worker.grant.leaseId) +
+                " complete (" + std::to_string(coveredCount) + "/" +
+                std::to_string(_plan.itemCount) + " cells)");
+        } else {
+            expireAndRegrant(worker.grant);
+        }
+    };
+
+    bool interrupted = false;
+    while (fatal.empty()) {
+        if (_options.stopFlag &&
+            _options.stopFlag->load(std::memory_order_relaxed)) {
+            interrupted = true;
+            break;
+        }
+        while (active.size() < _options.workers && !pending.empty()) {
+            const PendingLease next = pending.front();
+            pending.pop_front();
+            LeaseGrant grant;
+            grant.leaseId = nextLeaseId++;
+            grant.begin = next.begin;
+            grant.end = next.end;
+            grant.generation = next.generation;
+            grant.parentLease = next.parentLease;
+            grant.ttlMs = _options.leaseTtlMs;
+            ledger.appendGrant(grant);
+            granted.push_back(grant);
+            ++report.leasesGranted;
+            const pid_t pid = _spawn(grant);
+            if (pid < 0) {
+                fatal = "cannot spawn worker for lease " +
+                        std::to_string(grant.leaseId);
+                // The grant stays expired-on-resume; abort the run.
+                ledger.appendExpire(grant.leaseId);
+                ++report.leasesExpired;
+                break;
+            }
+            ++report.workersSpawned;
+            say("granted lease " + std::to_string(grant.leaseId) +
+                " [" + std::to_string(grant.begin) + ", " +
+                std::to_string(grant.end) + ") gen " +
+                std::to_string(grant.generation) + " to pid " +
+                std::to_string(pid));
+            ActiveWorker worker;
+            worker.pid = pid;
+            worker.grant = grant;
+            worker.journalBytes = 0;
+            worker.lastProgress = Clock::now();
+            active.push_back(std::move(worker));
+        }
+        if (!fatal.empty())
+            break;
+        if (active.empty()) {
+            if (coveredCount == _plan.itemCount)
+                break;
+            fatal = "no workers active but " +
+                    std::to_string(_plan.itemCount - coveredCount) +
+                    " cells uncovered";
+            break;
+        }
+
+        for (std::size_t i = 0; i < active.size();) {
+            ActiveWorker &worker = active[i];
+            int status = 0;
+            const pid_t r = waitpid(worker.pid, &status, WNOHANG);
+            if (r == worker.pid) {
+                settle(worker);
+                active.erase(active.begin() + i);
+                continue;
+            }
+            // Liveness: every journaled record is an fsync'd
+            // heartbeat. A pid that is alive but whose journal has
+            // not grown within the TTL is hung — reclaim it.
+            const std::uint64_t bytes = fileBytes(leaseJournalPath(
+                _options.leaseDir, worker.grant.leaseId));
+            const auto now = Clock::now();
+            if (bytes > worker.journalBytes) {
+                worker.journalBytes = bytes;
+                worker.lastProgress = now;
+            } else if (std::chrono::duration<double, std::milli>(
+                           now - worker.lastProgress)
+                           .count() >
+                       static_cast<double>(worker.grant.ttlMs)) {
+                say("lease " + std::to_string(worker.grant.leaseId) +
+                    " stalled past its TTL; killing pid " +
+                    std::to_string(worker.pid));
+                kill(worker.pid, SIGKILL);
+                waitpid(worker.pid, &status, 0);
+                ++report.workersKilled;
+                settle(worker);
+                active.erase(active.begin() + i);
+                continue;
+            }
+            ++i;
+        }
+        if (!fatal.empty())
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (interrupted) {
+        killEverything();
+        ledger.close();
+        report.interrupted = true;
+        return failFleet("fleet interrupted by stop request (the "
+                         "ledger and journals remain; re-run to "
+                         "resume)");
+    }
+    if (!fatal.empty()) {
+        killEverything();
+        ledger.close();
+        return failFleet(fatal);
+    }
+    ledger.close();
+
+    report.ok = true;
+    if (_options.outputPath.empty())
+        return report;
+
+    // Merge every lease that produced a journal, in lease-id order
+    // (= first-committed priority).
+    MergeOptions merge;
+    merge.plan = _plan;
+    meta.jobs = _options.workers;
+    meta.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - started).count();
+    merge.meta = std::move(meta);
+    for (const LeaseGrant &grant : granted) {
+        const std::string journal =
+            leaseJournalPath(_options.leaseDir, grant.leaseId);
+        if (std::filesystem::exists(journal))
+            merge.inputs.push_back(MergeInput{grant.leaseId, journal});
+    }
+    report.merge = mergeJournalsToFile(merge, _options.outputPath);
+    if (!report.merge.ok)
+        return failFleet("merge failed: " + report.merge.error);
+    say("merged " + std::to_string(report.merge.mergedCells) +
+        " cells into " + _options.outputPath);
+    return report;
+}
+
+} // namespace dol::fleet

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fleet coordinator: leases cell ranges of one sweep to worker
+ * processes, survives their deaths, and merges their journals.
+ *
+ * Lease lifecycle (everything durable in the DOLLEAS1 ledger):
+ *
+ *     partition ──► kGrant ──► worker runs range ──► kComplete
+ *                     │
+ *                     │ worker exits early / stalls past TTL
+ *                     ▼
+ *                  kExpire ──► kGrant (remaining cells, generation+1,
+ *                              parentLease = expired lease) — exactly
+ *                              once per expiry
+ *
+ * The coordinator never trusts a worker's exit status alone: a lease
+ * is complete only when its journal actually covers every cell of
+ * the range (kJobDone or kCellFailed records). Liveness is judged by
+ * journal growth — each fsync'd record is a heartbeat — so a hung
+ * worker with a live pid still expires after its TTL.
+ *
+ * Worker processes are started through a caller-supplied spawn
+ * callback, so `dolsim --fleet` forks+execs real `--fleet-worker`
+ * processes while the tests fork in-process children (and kill them
+ * mid-range) without exec.
+ *
+ * A coordinator that is itself killed can be re-run: it replays the
+ * ledger, expires whatever was outstanding, counts journaled cells
+ * as covered, and re-grants only the gaps.
+ */
+
+#ifndef DOL_FLEET_COORDINATOR_HPP
+#define DOL_FLEET_COORDINATOR_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <sys/types.h>
+
+#include "fleet/ledger.hpp"
+#include "fleet/merge.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/result_store.hpp"
+
+namespace dol::fleet
+{
+
+struct FleetOptions
+{
+    /** Ledger + per-lease journals live here (created if missing). */
+    std::string leaseDir;
+    /** Concurrent worker processes. */
+    unsigned workers = 2;
+    /** Target lease count; 0 = workers * 2 (small ranges so a death
+     *  costs little re-work). */
+    unsigned leases = 0;
+    /** A worker whose journal stops growing for this long is
+     *  presumed dead: SIGKILLed, expired, re-granted. */
+    std::uint64_t leaseTtlMs = 30000;
+    /** Give up on a range after this many re-grants (a cell that
+     *  kills every worker would otherwise lease forever). */
+    unsigned maxGenerations = 8;
+    /** Merged dol-sweep-v1 document path; empty = skip the merge. */
+    std::string outputPath;
+    /** Narrate grants/expiries to stderr. */
+    bool verbose = false;
+    /** Graceful shutdown (e.g. &runner::signalStopFlag()): once
+     *  raised, active workers are killed, nothing is re-granted, and
+     *  run() returns with interrupted set. nullptr = never. */
+    std::atomic<bool> *stopFlag = nullptr;
+};
+
+struct FleetReport
+{
+    bool ok = false;
+    /** A stop request drained the fleet; the ledger and journals
+     *  remain, and a re-run resumes from them. */
+    bool interrupted = false;
+    std::string error;
+    unsigned leasesGranted = 0;
+    unsigned leasesCompleted = 0;
+    unsigned leasesExpired = 0;
+    unsigned workersSpawned = 0;
+    /** Workers the coordinator had to SIGKILL (TTL expiry). */
+    unsigned workersKilled = 0;
+    /** Set when outputPath was given and coverage completed. */
+    MergeStats merge;
+};
+
+/**
+ * Start one worker process for @p grant; return its pid, or -1 on
+ * failure (which aborts the fleet). The callee decides how to start
+ * it (fork+exec dolsim, or fork a test child).
+ */
+using SpawnWorker = std::function<pid_t(const LeaseGrant &grant)>;
+
+class FleetCoordinator
+{
+  public:
+    FleetCoordinator(runner::JournalPlan plan, FleetOptions options,
+                     SpawnWorker spawn);
+
+    /**
+     * Drive the fleet until every cell of the plan is covered, then
+     * merge (when outputPath is set). @p meta supplies the merged
+     * document's header fields; elapsedSeconds and jobs are filled
+     * by the coordinator. Blocks; never throws.
+     */
+    FleetReport run(runner::SweepMeta meta);
+
+  private:
+    runner::JournalPlan _plan;
+    FleetOptions _options;
+    SpawnWorker _spawn;
+};
+
+} // namespace dol::fleet
+
+#endif // DOL_FLEET_COORDINATOR_HPP

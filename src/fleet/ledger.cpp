@@ -1,0 +1,264 @@
+#include "fleet/ledger.hpp"
+
+#include <algorithm>
+
+#include "runner/wire.hpp"
+
+namespace dol::fleet
+{
+
+using runner::FramedReader;
+using runner::JournalPlan;
+namespace wire = runner::wire;
+
+std::string
+encodeGrantPayload(const LeaseGrant &grant)
+{
+    std::string payload;
+    wire::putU64(payload, grant.leaseId);
+    wire::putU64(payload, grant.begin);
+    wire::putU64(payload, grant.end);
+    wire::putU64(payload, grant.generation);
+    wire::putU64(payload, grant.parentLease);
+    wire::putU64(payload, grant.ttlMs);
+    return payload;
+}
+
+bool
+decodeGrantPayload(const std::string &payload, LeaseGrant &out)
+{
+    wire::Cursor in{
+        reinterpret_cast<const unsigned char *>(payload.data()),
+        payload.size()};
+    out.leaseId = in.u64();
+    out.begin = in.u64();
+    out.end = in.u64();
+    out.generation = in.u64();
+    out.parentLease = in.u64();
+    out.ttlMs = in.u64();
+    return in.ok;
+}
+
+std::string
+leaseJournalPath(const std::string &lease_dir, std::uint64_t lease_id)
+{
+    return lease_dir + "/lease-" + std::to_string(lease_id) + ".ckpt";
+}
+
+std::string
+ledgerPath(const std::string &lease_dir)
+{
+    return lease_dir + "/ledger.dolleas";
+}
+
+bool
+LeaseLedger::create(const std::string &path, const JournalPlan &plan,
+                    std::string *error)
+{
+    if (!_file.create(path, kLedgerMagic, error))
+        return false;
+    if (!_file.appendRecord(
+            static_cast<std::uint8_t>(LedgerRecord::kPlan),
+            runner::encodePlanPayload(plan))) {
+        if (error)
+            *error = "cannot write ledger plan to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+LeaseLedger::openAppend(const std::string &path,
+                        std::uint64_t good_bytes, std::string *error)
+{
+    return _file.openAppend(path, good_bytes, error);
+}
+
+bool
+LeaseLedger::appendGrant(const LeaseGrant &grant)
+{
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(LedgerRecord::kGrant),
+        encodeGrantPayload(grant));
+}
+
+bool
+LeaseLedger::appendComplete(std::uint64_t lease_id)
+{
+    std::string payload;
+    wire::putU64(payload, lease_id);
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(LedgerRecord::kComplete), payload);
+}
+
+bool
+LeaseLedger::appendExpire(std::uint64_t lease_id)
+{
+    std::string payload;
+    wire::putU64(payload, lease_id);
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(LedgerRecord::kExpire), payload);
+}
+
+namespace
+{
+
+/** First semantic violation wins; later records still load. */
+void
+flagInconsistency(LeaseLedger::Load &out, const std::string &what)
+{
+    if (out.consistent) {
+        out.consistent = false;
+        out.inconsistency = what;
+    }
+}
+
+} // namespace
+
+LeaseLedger::Load
+LeaseLedger::load(const std::string &path)
+{
+    Load out;
+    FramedReader reader;
+    if (!reader.open(path, kLedgerMagic)) {
+        out.fileExists = reader.fileExists();
+        out.error = out.fileExists
+                        ? path + " is not a DOLLEAS1 lease ledger"
+                        : "no lease ledger at " + path;
+        return out;
+    }
+    out.fileExists = true;
+    out.valid = true;
+    out.goodBytes = reader.goodBytes();
+
+    // Outstanding = granted, not yet completed or expired. Expired
+    // leases additionally track whether a successor grant re-covered
+    // them, which must happen exactly once.
+    enum class LeaseState : std::uint8_t
+    {
+        kOutstanding,
+        kCompleted,
+        kExpired,
+        kExpiredAndRegranted,
+    };
+    std::vector<LeaseState> states; // parallel to out.grants
+
+    const auto leaseIndex =
+        [&](std::uint64_t lease_id) -> std::ptrdiff_t {
+        const auto it = std::lower_bound(
+            out.grants.begin(), out.grants.end(), lease_id,
+            [](const LeaseGrant &g, std::uint64_t id) {
+                return g.leaseId < id;
+            });
+        if (it == out.grants.end() || it->leaseId != lease_id)
+            return -1;
+        return it - out.grants.begin();
+    };
+
+    bool decodeFailed = false;
+    FramedReader::Record rec;
+    while (reader.next(rec)) {
+        bool parsed = true;
+        switch (static_cast<LedgerRecord>(rec.type)) {
+        case LedgerRecord::kPlan: {
+            JournalPlan plan;
+            parsed = runner::decodePlanPayload(rec.payload, plan);
+            if (parsed) {
+                if (out.plan)
+                    flagInconsistency(out, "duplicate plan record");
+                out.plan = plan;
+            }
+            break;
+        }
+        case LedgerRecord::kGrant: {
+            LeaseGrant grant;
+            parsed = decodeGrantPayload(rec.payload, grant);
+            if (!parsed)
+                break;
+            if (!out.grants.empty() &&
+                grant.leaseId <= out.grants.back().leaseId) {
+                flagInconsistency(
+                    out, "lease ids are not strictly increasing");
+            }
+            if (grant.begin >= grant.end) {
+                flagInconsistency(out,
+                                  "grant " +
+                                      std::to_string(grant.leaseId) +
+                                      " has an empty cell range");
+            } else if (out.plan && grant.end > out.plan->itemCount) {
+                flagInconsistency(
+                    out, "grant " + std::to_string(grant.leaseId) +
+                             " reaches past the plan's cell count");
+            }
+            if (grant.parentLease != kNoParentLease) {
+                const std::ptrdiff_t parent =
+                    leaseIndex(grant.parentLease);
+                if (parent < 0) {
+                    flagInconsistency(
+                        out, "grant " + std::to_string(grant.leaseId) +
+                                 " re-covers an unknown lease");
+                } else if (states[parent] != LeaseState::kExpired) {
+                    flagInconsistency(
+                        out,
+                        "grant " + std::to_string(grant.leaseId) +
+                            " re-covers a lease that is not expired "
+                            "exactly once");
+                } else {
+                    states[parent] =
+                        LeaseState::kExpiredAndRegranted;
+                }
+            }
+            out.grants.push_back(grant);
+            states.push_back(LeaseState::kOutstanding);
+            break;
+        }
+        case LedgerRecord::kComplete:
+        case LedgerRecord::kExpire: {
+            std::uint64_t lease_id = 0;
+            parsed = runner::decodeJobIndex(rec.payload, lease_id);
+            if (!parsed)
+                break;
+            const bool complete = static_cast<LedgerRecord>(
+                                      rec.type) ==
+                                  LedgerRecord::kComplete;
+            const std::ptrdiff_t index = leaseIndex(lease_id);
+            if (index < 0) {
+                flagInconsistency(
+                    out, std::string(complete ? "complete"
+                                              : "expire") +
+                             " record for unknown lease " +
+                             std::to_string(lease_id));
+            } else if (states[index] != LeaseState::kOutstanding) {
+                flagInconsistency(
+                    out, std::string(complete ? "complete"
+                                              : "expire") +
+                             " record for lease " +
+                             std::to_string(lease_id) +
+                             " which is not outstanding");
+            } else {
+                states[index] = complete ? LeaseState::kCompleted
+                                         : LeaseState::kExpired;
+            }
+            (complete ? out.completed : out.expired)
+                .push_back(lease_id);
+            break;
+        }
+        default:
+            // Unknown-but-checksummed record: skip, stay forward
+            // compatible (same policy as the checkpoint loader).
+            break;
+        }
+        if (!parsed) {
+            decodeFailed = true;
+            break;
+        }
+        out.goodBytes = rec.offset + runner::kFrameEnvelopeBytes +
+                        rec.payload.size();
+    }
+    out.cleanTail = !decodeFailed && !reader.tornTail();
+    if (out.consistent && !out.plan && !out.grants.empty())
+        flagInconsistency(out, "grants precede the plan record");
+    return out;
+}
+
+} // namespace dol::fleet

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * DOLLEAS1 lease ledger: the coordinator's durable record of which
+ * worker owns which cell range of a sharded sweep.
+ *
+ * Same container format as the DOLCKPT1 checkpoint journal (8-byte
+ * magic + `[type u8 | len u32 | fnv64 u64 | payload]` records, every
+ * append fsync'd — see runner/framed_file.hpp), so the ledger
+ * inherits the checkpoint's crash story: a SIGKILLed coordinator
+ * leaves a prefix of whole records plus at most one torn tail, and a
+ * restarted coordinator replays the prefix, expires whatever was
+ * outstanding, and re-grants the uncovered cells.
+ *
+ * Record kinds:
+ *   kPlan     sweep identity (same triple as the checkpoint plan).
+ *             Written first; a worker rebuilds the grid from its own
+ *             arguments and refuses a ledger whose plan differs.
+ *   kGrant    one lease: id, [begin, end) cell range, generation,
+ *             parent lease (the expired lease this one re-covers, or
+ *             none), and the liveness TTL the coordinator will hold
+ *             the worker to.
+ *   kComplete the lease's journal covers its whole range.
+ *   kExpire   the worker died or stalled; the uncovered remainder of
+ *             the range is re-granted under a new lease exactly once
+ *             (enforced by load()'s consistency check).
+ *
+ * The ledger is single-writer (the coordinator); workers only read
+ * it. Lease ids are assigned in strictly increasing grant order, and
+ * the merger processes journals in lease-id order — that ordering is
+ * what makes "first committed wins" deterministic when an expired
+ * lease's journal and its successor's journal both record a cell.
+ */
+
+#ifndef DOL_FLEET_LEDGER_HPP
+#define DOL_FLEET_LEDGER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.hpp"
+#include "runner/framed_file.hpp"
+
+namespace dol::fleet
+{
+
+constexpr char kLedgerMagic[8] = {'D', 'O', 'L', 'L',
+                                  'E', 'A', 'S', '1'};
+
+/** kGrant.parentLease for an original (non-re-granted) lease. */
+constexpr std::uint64_t kNoParentLease = UINT64_MAX;
+
+/** Wire record types of the DOLLEAS1 format. */
+enum class LedgerRecord : std::uint8_t
+{
+    kPlan = 1,
+    kGrant = 2,
+    kComplete = 3,
+    kExpire = 4,
+};
+
+/** One cell-range lease. */
+struct LeaseGrant
+{
+    std::uint64_t leaseId = 0;
+    /** Cell range [begin, end) of the sweep grid. */
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    /** 0 for an original grant, parent's generation + 1 after an
+     *  expiry. Fault injection targets generation 0 only, so a
+     *  re-granted range cannot re-trip the same injected fault. */
+    std::uint64_t generation = 0;
+    /** Lease this grant re-covers, or kNoParentLease. */
+    std::uint64_t parentLease = kNoParentLease;
+    /** Liveness budget: journal must grow within this many ms. */
+    std::uint64_t ttlMs = 0;
+};
+
+// Payload codecs (exposed for the ledger fuzz tests).
+std::string encodeGrantPayload(const LeaseGrant &grant);
+bool decodeGrantPayload(const std::string &payload, LeaseGrant &out);
+
+/** Per-lease checkpoint journal path under the lease directory. */
+std::string leaseJournalPath(const std::string &lease_dir,
+                             std::uint64_t lease_id);
+
+/** Ledger path under the lease directory. */
+std::string ledgerPath(const std::string &lease_dir);
+
+class LeaseLedger
+{
+  public:
+    LeaseLedger() = default;
+
+    LeaseLedger(const LeaseLedger &) = delete;
+    LeaseLedger &operator=(const LeaseLedger &) = delete;
+
+    /** Truncate/create @p path and write the plan record. */
+    bool create(const std::string &path,
+                const runner::JournalPlan &plan,
+                std::string *error = nullptr);
+
+    /** Reopen after a crash, truncating the torn tail first. */
+    bool openAppend(const std::string &path, std::uint64_t good_bytes,
+                    std::string *error = nullptr);
+
+    bool appendGrant(const LeaseGrant &grant);
+    bool appendComplete(std::uint64_t lease_id);
+    bool appendExpire(std::uint64_t lease_id);
+
+    bool isOpen() const { return _file.isOpen(); }
+    void close() { _file.close(); }
+
+    struct Load
+    {
+        bool fileExists = false;
+        /** Header parsed (magic ok). False => not a ledger at all. */
+        bool valid = false;
+        /** False when a torn/corrupt tail was dropped. */
+        bool cleanTail = true;
+        /** Bytes of clean prefix (header + whole good records). */
+        std::uint64_t goodBytes = 0;
+        std::optional<runner::JournalPlan> plan;
+        /** Every grant, in ledger (= lease id) order. */
+        std::vector<LeaseGrant> grants;
+        std::vector<std::uint64_t> completed;
+        std::vector<std::uint64_t> expired;
+        /**
+         * Semantic replay check: lease ids strictly increasing,
+         * ranges non-empty and inside the plan, complete/expire
+         * referencing a granted-and-still-outstanding lease, at most
+         * one successor grant per expired lease. A well-framed ledger
+         * that violates these loads with consistent=false and the
+         * first violation in `inconsistency`.
+         */
+        bool consistent = true;
+        std::string inconsistency;
+        std::string error;
+    };
+
+    /**
+     * Read every intact record of @p path. Never throws or hangs on
+     * malformed input: a missing file reports fileExists=false,
+     * garbage reports valid=false, a torn tail is dropped with
+     * cleanTail=false, and semantic violations surface through
+     * `consistent` — the fuzz battery drives all four paths.
+     */
+    static Load load(const std::string &path);
+
+  private:
+    runner::FramedWriter _file;
+};
+
+} // namespace dol::fleet
+
+#endif // DOL_FLEET_LEDGER_HPP

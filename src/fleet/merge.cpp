@@ -1,0 +1,236 @@
+#include "fleet/merge.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "runner/json_writer.hpp"
+
+namespace dol::fleet
+{
+
+using runner::CheckpointReader;
+using runner::FramedReader;
+using runner::JournalCellFailed;
+using runner::JournalJobDone;
+using runner::JournalRecord;
+using runner::JsonWriter;
+
+namespace
+{
+
+constexpr std::size_t kNoInput = SIZE_MAX;
+
+/** Pass-1 index entry: where a cell's winning record lives. */
+struct Winner
+{
+    std::size_t input = kNoInput;
+    std::uint64_t offset = 0;
+    bool failed = false;
+};
+
+MergeStats
+fail(MergeStats stats, std::string error)
+{
+    stats.ok = false;
+    stats.error = std::move(error);
+    return stats;
+}
+
+} // namespace
+
+MergeStats
+mergeJournals(const MergeOptions &options, const MergeSink &sink)
+{
+    MergeStats stats;
+
+    // Pass 1: index every journal, keeping only winners' offsets.
+    std::vector<std::unique_ptr<CheckpointReader>> readers;
+    std::vector<Winner> winners(options.plan.itemCount);
+    for (std::size_t input = 0; input < options.inputs.size();
+         ++input) {
+        const MergeInput &in = options.inputs[input];
+        auto reader = std::make_unique<CheckpointReader>();
+        if (!reader->open(in.journalPath)) {
+            return fail(std::move(stats),
+                        reader->fileExists()
+                            ? in.journalPath +
+                                  " is not a DOLCKPT1 checkpoint"
+                            : "missing journal " + in.journalPath);
+        }
+        bool sawPlan = false;
+        FramedReader::Record rec;
+        while (reader->next(rec)) {
+            const auto type = static_cast<JournalRecord>(rec.type);
+            if (type == JournalRecord::kPlan) {
+                runner::JournalPlan plan;
+                if (!runner::decodePlanPayload(rec.payload, plan))
+                    return fail(std::move(stats),
+                                "corrupt plan record in " +
+                                    in.journalPath);
+                if (!(plan == options.plan))
+                    return fail(std::move(stats),
+                                in.journalPath +
+                                    " was written for a different "
+                                    "sweep plan");
+                sawPlan = true;
+                continue;
+            }
+            if (type != JournalRecord::kJobDone &&
+                type != JournalRecord::kCellFailed)
+                continue;
+            std::uint64_t cell = 0;
+            if (!runner::decodeJobIndex(rec.payload, cell))
+                return fail(std::move(stats),
+                            "corrupt record in " + in.journalPath);
+            if (cell >= winners.size())
+                return fail(std::move(stats),
+                            in.journalPath +
+                                " records a cell outside the plan");
+            Winner &winner = winners[cell];
+            const bool failedRecord =
+                type == JournalRecord::kCellFailed;
+            if (winner.input == kNoInput) {
+                winner = Winner{input, rec.offset, failedRecord};
+            } else if (winner.failed && !failedRecord) {
+                // A successful re-run outranks an earlier quarantine.
+                winner = Winner{input, rec.offset, false};
+                ++stats.duplicatesDiscarded;
+            } else {
+                // First committed wins; the duplicate is dropped.
+                ++stats.duplicatesDiscarded;
+            }
+        }
+        if (!sawPlan)
+            return fail(std::move(stats),
+                        in.journalPath + " has no plan record");
+        readers.push_back(std::move(reader));
+    }
+    for (std::uint64_t cell = 0; cell < winners.size(); ++cell) {
+        if (winners[cell].input == kNoInput)
+            return fail(std::move(stats),
+                        "no journal covers cell " +
+                            std::to_string(cell));
+    }
+
+    // Pass 2: emit in grid order, one winning record decoded at a
+    // time. This mirrors ResultStore::toJson() call for call — that
+    // is what makes the deterministic prefix byte-identical.
+    const auto flush = [&](JsonWriter &json) {
+        return sink(json.take());
+    };
+    std::vector<runner::FailedCell> failedCells;
+    std::vector<double> wallMs;
+    std::size_t rowsHeld = 0;
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("schema", "dol-sweep-v1");
+    json.field("generator", options.meta.generator);
+    json.key("config").beginObject();
+    json.field("max_instrs", options.meta.maxInstrs);
+    json.endObject();
+    json.key("results").beginArray();
+    if (!flush(json))
+        return fail(std::move(stats), "merge sink rejected output");
+
+    for (std::uint64_t cell = 0; cell < winners.size(); ++cell) {
+        const Winner &winner = winners[cell];
+        CheckpointReader &reader = *readers[winner.input];
+        FramedReader::Record rec;
+        if (!reader.seek(winner.offset) || !reader.next(rec))
+            return fail(std::move(stats),
+                        "cannot re-read cell " +
+                            std::to_string(cell) + " from " +
+                            options.inputs[winner.input].journalPath);
+        if (winner.failed) {
+            JournalCellFailed failed;
+            if (!runner::decodeCellFailedPayload(rec.payload, failed))
+                return fail(std::move(stats),
+                            "corrupt kCellFailed record for cell " +
+                                std::to_string(cell));
+            failedCells.push_back(std::move(failed.cell));
+            ++stats.failedCells;
+            continue;
+        }
+        JournalJobDone job;
+        if (!runner::decodeJobDonePayload(rec.payload, job))
+            return fail(std::move(stats),
+                        "corrupt kJobDone record for cell " +
+                            std::to_string(cell));
+        rowsHeld += job.rows.size();
+        if (rowsHeld > stats.peakRowsHeld)
+            stats.peakRowsHeld = rowsHeld;
+        for (const runner::MetricsRow &row : job.rows) {
+            runner::writeMetricsRowJson(json, row);
+            wallMs.push_back(job.wallMs);
+        }
+        ++stats.mergedCells;
+        if (!flush(json))
+            return fail(std::move(stats),
+                        "merge sink rejected output");
+        rowsHeld -= job.rows.size();
+    }
+    json.endArray();
+
+    if (!failedCells.empty()) {
+        json.key("failed_cells").beginArray();
+        for (const runner::FailedCell &cell : failedCells)
+            runner::writeFailedCellJson(json, cell);
+        json.endArray();
+    }
+
+    // Timing: wall-clock dependent, outside the determinism contract
+    // (same as ResultStore::toJson()).
+    json.key("timing").beginObject();
+    json.field("jobs", options.meta.jobs);
+    json.field("elapsed_seconds", options.meta.elapsedSeconds);
+    json.field("resumed_jobs", options.meta.resumedJobs);
+    json.key("wall_ms").beginArray();
+    for (const double ms : wallMs)
+        json.value(ms);
+    json.endArray();
+    json.endObject();
+
+    json.endObject();
+    std::string tail = json.take();
+    tail.push_back('\n');
+    if (!sink(tail))
+        return fail(std::move(stats), "merge sink rejected output");
+
+    stats.ok = true;
+    return stats;
+}
+
+MergeStats
+mergeJournalsToFile(const MergeOptions &options,
+                    const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file) {
+        MergeStats stats;
+        stats.error = "cannot create " + path;
+        return stats;
+    }
+    MergeStats stats =
+        mergeJournals(options, [&](const std::string &chunk) {
+            return std::fwrite(chunk.data(), 1, chunk.size(), file) ==
+                   chunk.size();
+        });
+    if (std::fclose(file) != 0 && stats.ok) {
+        stats.ok = false;
+        stats.error = "cannot finish writing " + path;
+    }
+    return stats;
+}
+
+MergeStats
+mergeJournalsToString(const MergeOptions &options, std::string &out)
+{
+    out.clear();
+    return mergeJournals(options, [&](const std::string &chunk) {
+        out += chunk;
+        return true;
+    });
+}
+
+} // namespace dol::fleet

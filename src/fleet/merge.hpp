@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming merge of per-lease DOLCKPT1 journals into one
+ * dol-sweep-v1 document.
+ *
+ * Two passes, bounded memory:
+ *
+ *  1. Index: stream every journal once in lease-id order, recording
+ *     only (input, file offset, failed?) per cell — never a decoded
+ *     row. When two leases both journaled a cell (an expired worker
+ *     got far enough before dying that its successor re-ran cells),
+ *     the first-committed record wins: lowest lease id, earliest
+ *     append order. The one exception is that a successful record
+ *     beats an earlier kCellFailed for the same cell — a re-run that
+ *     succeeded where the first attempt quarantined is strictly
+ *     better data. Losing records are discarded and counted.
+ *
+ *  2. Emit: walk cells 0..N-1 in grid order, seek each winner's
+ *     offset, decode that one record, serialize its rows through the
+ *     exact writeMetricsRowJson used by ResultStore::toJson(), and
+ *     flush. At most one job's rows are ever materialized (the
+ *     peakRowsHeld probe in MergeStats proves it), so a 10k-cell
+ *     fleet merge holds one cell of data plus O(cells) of bare
+ *     offsets.
+ *
+ * The emitted document's deterministic prefix — everything before
+ * the "timing" key — is byte-identical to a single-process
+ * `--jobs N` run of the same grid; that is the fleet's correctness
+ * contract and what the kill-and-merge tests memcmp.
+ */
+
+#ifndef DOL_FLEET_MERGE_HPP
+#define DOL_FLEET_MERGE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/checkpoint.hpp"
+#include "runner/result_store.hpp"
+
+namespace dol::fleet
+{
+
+/** One journal to merge; inputs must be in ascending lease order. */
+struct MergeInput
+{
+    std::uint64_t leaseId = 0;
+    std::string journalPath;
+};
+
+struct MergeOptions
+{
+    /** Identity every journal's plan record must match. */
+    runner::JournalPlan plan;
+    /** Journals in ascending lease-id order (= commit priority). */
+    std::vector<MergeInput> inputs;
+    /** Header/timing fields for the merged document. wallMs and
+     *  failedCells are filled from the journals; the rest (generator,
+     *  maxInstrs, jobs, elapsedSeconds, resumedJobs) pass through. */
+    runner::SweepMeta meta;
+};
+
+/**
+ * Receives the document in order, in bounded chunks. Return false to
+ * abort the merge (e.g. on a write error).
+ */
+using MergeSink = std::function<bool(const std::string &chunk)>;
+
+struct MergeStats
+{
+    bool ok = false;
+    std::string error;
+    /** Cells emitted into "results". */
+    std::uint64_t mergedCells = 0;
+    /** Cells surfaced in "failed_cells" (quarantined everywhere). */
+    std::uint64_t failedCells = 0;
+    /** Records for cells some earlier lease already committed. */
+    std::uint64_t duplicatesDiscarded = 0;
+    /** Max metric rows materialized at once during emission — the
+     *  streaming bound the tests assert on. */
+    std::size_t peakRowsHeld = 0;
+};
+
+/** Merge @p options.inputs into @p sink. Fails (stats.ok=false)
+ *  on a missing/invalid journal, a plan mismatch, or a cell no
+ *  journal covers. */
+MergeStats mergeJournals(const MergeOptions &options,
+                         const MergeSink &sink);
+
+/** Convenience: merge into a file (atomic enough for tests: written
+ *  in one pass, short final rename is the caller's business). */
+MergeStats mergeJournalsToFile(const MergeOptions &options,
+                               const std::string &path);
+
+/** Convenience: merge into a string (tests). */
+MergeStats mergeJournalsToString(const MergeOptions &options,
+                                 std::string &out);
+
+} // namespace dol::fleet
+
+#endif // DOL_FLEET_MERGE_HPP

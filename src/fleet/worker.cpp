@@ -1,0 +1,66 @@
+#include "fleet/worker.hpp"
+
+#include "fleet/ledger.hpp"
+
+namespace dol::fleet
+{
+
+using runner::SweepOptions;
+using runner::SweepRunner;
+
+int
+runFleetWorker(SweepRunner &sweep, SweepOptions sweep_options,
+               const WorkerOptions &options, std::string *error)
+{
+    const auto setupError = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return kWorkerSetupError;
+    };
+
+    const LeaseLedger::Load ledger =
+        LeaseLedger::load(ledgerPath(options.leaseDir));
+    if (!ledger.valid)
+        return setupError(ledger.error);
+    if (!ledger.plan)
+        return setupError("lease ledger has no plan record");
+    if (!(*ledger.plan == sweep.plan()))
+        return setupError(
+            "lease ledger was written for a different sweep (grid "
+            "or instruction budget mismatch)");
+
+    const LeaseGrant *grant = nullptr;
+    for (const LeaseGrant &candidate : ledger.grants) {
+        if (candidate.leaseId == options.leaseId)
+            grant = &candidate;
+    }
+    if (!grant)
+        return setupError("lease " +
+                          std::to_string(options.leaseId) +
+                          " is not granted in the ledger");
+    if (grant->end > ledger.plan->itemCount)
+        return setupError("lease " +
+                          std::to_string(options.leaseId) +
+                          " reaches past the sweep grid");
+
+    sweep_options.rangeBegin = grant->begin;
+    sweep_options.rangeEnd = grant->end;
+    sweep_options.checkpointPath =
+        leaseJournalPath(options.leaseDir, options.leaseId);
+    // A journal may already exist if this very lease crashed and the
+    // coordinator restarted the process without re-leasing (it does
+    // not today, but resume is free and makes the worker idempotent).
+    sweep_options.resume = true;
+    sweep_options.onError = SweepOptions::OnError::kQuarantine;
+    sweep_options.journalFailures = true;
+    sweep.setOptions(std::move(sweep_options));
+
+    SweepRunner::Report report = sweep.run();
+    if (report.interrupted)
+        return kWorkerInterrupted;
+    if (!report.meta.failedCells.empty())
+        return kWorkerCellsFailed;
+    return kWorkerOk;
+}
+
+} // namespace dol::fleet

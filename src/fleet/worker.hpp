@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fleet worker: executes one leased cell range of a sweep.
+ *
+ * The worker process rebuilds the full sweep grid from the same
+ * arguments the coordinator used (the grid, not the range, defines
+ * the journal plan), looks its lease up in the DOLLEAS1 ledger,
+ * refuses to run if the ledger's plan does not match the grid it
+ * built, and then drives the ordinary SweepRunner restricted to
+ * [begin, end) with a per-lease checkpoint journal. Everything
+ * crash-safety related — fsync'd records, torn-tail truncation,
+ * resume — is the runner's existing machinery; the worker only adds
+ * the lease lookup and the exit-code contract the coordinator reads:
+ *
+ *   0   range fully covered, no failures
+ *   3   range fully covered, some cells quarantined (journaled as
+ *       kCellFailed so the coordinator still counts them covered)
+ *   75  interrupted (stop request / drain) — resumable, re-lease
+ *   1   setup error (bad lease, plan mismatch, unwritable journal)
+ */
+
+#ifndef DOL_FLEET_WORKER_HPP
+#define DOL_FLEET_WORKER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "runner/sweep.hpp"
+
+namespace dol::fleet
+{
+
+struct WorkerOptions
+{
+    /** Directory holding the ledger and per-lease journals. */
+    std::string leaseDir;
+    /** Lease to execute; must be granted in the ledger. */
+    std::uint64_t leaseId = 0;
+};
+
+/** Exit codes of runFleetWorker (and `dolsim --fleet-worker`). */
+enum WorkerExit : int
+{
+    kWorkerOk = 0,
+    kWorkerSetupError = 1,
+    kWorkerCellsFailed = 3,
+    kWorkerInterrupted = 75,
+};
+
+/**
+ * Run @p sweep's jobs [grant.begin, grant.end) under the lease's
+ * journal. @p sweep must hold the full queued grid; @p sweep_options
+ * carries the caller's execution settings (stop flag, fault plan,
+ * thread count) and is adjusted — range, checkpoint path,
+ * quarantine, failure journaling, resume — before being installed.
+ * Returns a WorkerExit code; on kWorkerSetupError, @p error says
+ * why.
+ */
+int runFleetWorker(runner::SweepRunner &sweep,
+                   runner::SweepOptions sweep_options,
+                   const WorkerOptions &options,
+                   std::string *error = nullptr);
+
+} // namespace dol::fleet
+
+#endif // DOL_FLEET_WORKER_HPP

@@ -1,12 +1,6 @@
 #include "runner/checkpoint.hpp"
 
-#include <bit>
-#include <cstring>
-#include <filesystem>
-
-#include <unistd.h>
-
-#include "trace/trace_io.hpp"
+#include "runner/wire.hpp"
 
 namespace dol::runner
 {
@@ -14,128 +8,36 @@ namespace dol::runner
 namespace
 {
 
-enum RecordType : std::uint8_t
-{
-    kPlan = 1,
-    kJobDone = 2,
-    kCaseDone = 3,
-};
-
-// Record envelope: type u8 | payload-length u32 | fnv64(payload) u64 |
-// payload. All integers little-endian, independent of host order.
-constexpr std::size_t kEnvelopeBytes = 1 + 4 + 8;
-
-void
-putU32(std::string &out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putU64(std::string &out, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putF64(std::string &out, double v)
-{
-    putU64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void
-putString(std::string &out, const std::string &s)
-{
-    putU32(out, static_cast<std::uint32_t>(s.size()));
-    out += s;
-}
-
-/** Bounds-checked little-endian reader over a payload. */
-struct Cursor
-{
-    const unsigned char *data;
-    std::size_t size;
-    std::size_t pos = 0;
-    bool ok = true;
-
-    bool
-    need(std::size_t n)
-    {
-        if (!ok || size - pos < n)
-            ok = false;
-        return ok;
-    }
-
-    std::uint32_t
-    u32()
-    {
-        if (!need(4))
-            return 0;
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
-        pos += 4;
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        if (!need(8))
-            return 0;
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
-        pos += 8;
-        return v;
-    }
-
-    double f64() { return std::bit_cast<double>(u64()); }
-
-    std::string
-    str()
-    {
-        const std::uint32_t n = u32();
-        if (!need(n))
-            return {};
-        std::string s(reinterpret_cast<const char *>(data + pos), n);
-        pos += n;
-        return s;
-    }
-};
-
 void
 putRow(std::string &out, const MetricsRow &row)
 {
-    putString(out, row.workload);
-    putString(out, row.prefetcher);
-    putString(out, row.variant);
-    putU64(out, row.seed);
-    putF64(out, row.baselineIpc);
-    putF64(out, row.ipc);
-    putF64(out, row.speedup);
-    putF64(out, row.baselineMpkiL1);
-    putU64(out, row.prefetchesIssued);
-    putF64(out, row.scope);
-    putF64(out, row.effAccuracyL1);
-    putF64(out, row.effCoverageL1);
-    putF64(out, row.effAccuracyL2);
-    putF64(out, row.effCoverageL2);
-    putF64(out, row.trafficNormalized);
-    putU64(out, row.instructions);
+    wire::putString(out, row.workload);
+    wire::putString(out, row.prefetcher);
+    wire::putString(out, row.variant);
+    wire::putU64(out, row.seed);
+    wire::putF64(out, row.baselineIpc);
+    wire::putF64(out, row.ipc);
+    wire::putF64(out, row.speedup);
+    wire::putF64(out, row.baselineMpkiL1);
+    wire::putU64(out, row.prefetchesIssued);
+    wire::putF64(out, row.scope);
+    wire::putF64(out, row.effAccuracyL1);
+    wire::putF64(out, row.effCoverageL1);
+    wire::putF64(out, row.effAccuracyL2);
+    wire::putF64(out, row.effCoverageL2);
+    wire::putF64(out, row.trafficNormalized);
+    wire::putU64(out, row.instructions);
     const auto counters = row.counters.entries();
-    putU32(out, static_cast<std::uint32_t>(counters.size()));
+    wire::putU32(out, static_cast<std::uint32_t>(counters.size()));
     for (const auto &[scope, name, value] : counters) {
-        putString(out, scope);
-        putString(out, name);
-        putU64(out, value);
+        wire::putString(out, scope);
+        wire::putString(out, name);
+        wire::putU64(out, value);
     }
 }
 
 MetricsRow
-readRow(Cursor &in)
+readRow(wire::Cursor &in)
 {
     MetricsRow row;
     row.workload = in.str();
@@ -163,59 +65,113 @@ readRow(Cursor &in)
     return row;
 }
 
+wire::Cursor
+cursorOver(const std::string &payload)
+{
+    return wire::Cursor{
+        reinterpret_cast<const unsigned char *>(payload.data()),
+        payload.size()};
+}
+
+} // namespace
+
 std::string
-encodePlan(const JournalPlan &plan)
+encodePlanPayload(const JournalPlan &plan)
 {
     std::string payload;
-    putU64(payload, plan.itemCount);
-    putU64(payload, plan.gridHash);
-    putU64(payload, plan.maxInstrs);
+    wire::putU64(payload, plan.itemCount);
+    wire::putU64(payload, plan.gridHash);
+    wire::putU64(payload, plan.maxInstrs);
     return payload;
 }
 
 std::string
-encodeJobDone(const JournalJobDone &job)
+encodeJobDonePayload(const JournalJobDone &job)
 {
     std::string payload;
-    putU64(payload, job.jobIndex);
-    putString(payload, job.label);
-    putString(payload, job.variant);
-    putU64(payload, job.seed);
-    putF64(payload, job.wallMs);
-    putU32(payload, static_cast<std::uint32_t>(job.rows.size()));
+    wire::putU64(payload, job.jobIndex);
+    wire::putString(payload, job.label);
+    wire::putString(payload, job.variant);
+    wire::putU64(payload, job.seed);
+    wire::putF64(payload, job.wallMs);
+    wire::putU32(payload, static_cast<std::uint32_t>(job.rows.size()));
     for (const MetricsRow &row : job.rows)
         putRow(payload, row);
     return payload;
 }
 
-} // namespace
+std::string
+encodeCellFailedPayload(const JournalCellFailed &failed)
+{
+    std::string payload;
+    wire::putU64(payload, failed.jobIndex);
+    wire::putString(payload, failed.cell.label);
+    wire::putString(payload, failed.cell.variant);
+    wire::putU64(payload, failed.cell.seed);
+    wire::putU64(payload, failed.cell.attempts);
+    wire::putString(payload, failed.cell.kind);
+    wire::putString(payload, failed.cell.error);
+    return payload;
+}
+
+bool
+decodePlanPayload(const std::string &payload, JournalPlan &out)
+{
+    wire::Cursor in = cursorOver(payload);
+    out.itemCount = in.u64();
+    out.gridHash = in.u64();
+    out.maxInstrs = in.u64();
+    return in.ok;
+}
+
+bool
+decodeJobDonePayload(const std::string &payload, JournalJobDone &out)
+{
+    wire::Cursor in = cursorOver(payload);
+    out.jobIndex = in.u64();
+    out.label = in.str();
+    out.variant = in.str();
+    out.seed = in.u64();
+    out.wallMs = in.f64();
+    out.rows.clear();
+    const std::uint32_t rows = in.u32();
+    for (std::uint32_t i = 0; i < rows && in.ok; ++i)
+        out.rows.push_back(readRow(in));
+    return in.ok;
+}
+
+bool
+decodeCellFailedPayload(const std::string &payload,
+                        JournalCellFailed &out)
+{
+    wire::Cursor in = cursorOver(payload);
+    out.jobIndex = in.u64();
+    out.cell.label = in.str();
+    out.cell.variant = in.str();
+    out.cell.seed = in.u64();
+    out.cell.attempts = static_cast<unsigned>(in.u64());
+    out.cell.kind = in.str();
+    out.cell.error = in.str();
+    return in.ok;
+}
+
+bool
+decodeJobIndex(const std::string &payload, std::uint64_t &out)
+{
+    wire::Cursor in = cursorOver(payload);
+    out = in.u64();
+    return in.ok;
+}
 
 bool
 CheckpointJournal::create(const std::string &path,
                           const JournalPlan &plan, std::string *error)
 {
-    {
-        std::lock_guard lock(_mutex);
-        if (_file) {
-            std::fclose(_file);
-            _file = nullptr;
-        }
-        _file = std::fopen(path.c_str(), "wb");
-        if (!_file) {
-            if (error)
-                *error = "cannot create checkpoint " + path;
-            return false;
-        }
-        if (std::fwrite(kCheckpointMagic, 1, sizeof kCheckpointMagic,
-                        _file) != sizeof kCheckpointMagic) {
-            std::fclose(_file);
-            _file = nullptr;
-            if (error)
-                *error = "short write to checkpoint " + path;
-            return false;
-        }
-    }
-    if (!appendRecord(kPlan, encodePlan(plan))) {
+    if (!_file.create(path, kCheckpointMagic, error))
+        return false;
+    if (!_file.appendRecord(
+            static_cast<std::uint8_t>(JournalRecord::kPlan),
+            encodePlanPayload(plan))) {
         if (error)
             *error = "cannot write checkpoint plan to " + path;
         return false;
@@ -228,163 +184,100 @@ CheckpointJournal::openAppend(const std::string &path,
                               std::uint64_t good_bytes,
                               std::string *error)
 {
-    std::lock_guard lock(_mutex);
-    if (_file) {
-        std::fclose(_file);
-        _file = nullptr;
-    }
-    std::error_code ec;
-    std::filesystem::resize_file(path, good_bytes, ec);
-    if (ec) {
-        if (error)
-            *error = "cannot truncate checkpoint " + path + ": " +
-                     ec.message();
-        return false;
-    }
-    _file = std::fopen(path.c_str(), "ab");
-    if (!_file) {
-        if (error)
-            *error = "cannot reopen checkpoint " + path;
-        return false;
-    }
-    return true;
-}
-
-bool
-CheckpointJournal::appendRecord(std::uint8_t type,
-                                const std::string &payload)
-{
-    std::lock_guard lock(_mutex);
-    if (!_file)
-        return false;
-    std::string envelope;
-    envelope.push_back(static_cast<char>(type));
-    putU32(envelope, static_cast<std::uint32_t>(payload.size()));
-    putU64(envelope, fnv64(payload.data(), payload.size()));
-    if (std::fwrite(envelope.data(), 1, envelope.size(), _file) !=
-            envelope.size() ||
-        std::fwrite(payload.data(), 1, payload.size(), _file) !=
-            payload.size()) {
-        return false;
-    }
-    // The fsync is the crash-safety point: once append returns, a
-    // SIGKILL cannot lose this record.
-    if (std::fflush(_file) != 0)
-        return false;
-    return fsync(fileno(_file)) == 0;
+    return _file.openAppend(path, good_bytes, error);
 }
 
 bool
 CheckpointJournal::appendJobDone(const JournalJobDone &record)
 {
-    return appendRecord(kJobDone, encodeJobDone(record));
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(JournalRecord::kJobDone),
+        encodeJobDonePayload(record));
 }
 
 bool
 CheckpointJournal::appendCaseDone(std::uint64_t case_index)
 {
     std::string payload;
-    putU64(payload, case_index);
-    return appendRecord(kCaseDone, payload);
+    wire::putU64(payload, case_index);
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(JournalRecord::kCaseDone), payload);
 }
 
-void
-CheckpointJournal::close()
+bool
+CheckpointJournal::appendCellFailed(const JournalCellFailed &record)
 {
-    std::lock_guard lock(_mutex);
-    if (_file) {
-        std::fclose(_file);
-        _file = nullptr;
-    }
+    return _file.appendRecord(
+        static_cast<std::uint8_t>(JournalRecord::kCellFailed),
+        encodeCellFailedPayload(record));
 }
 
 CheckpointJournal::Load
 CheckpointJournal::load(const std::string &path)
 {
     Load out;
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (!file) {
-        out.error = "no checkpoint at " + path;
+    FramedReader reader;
+    if (!reader.open(path, kCheckpointMagic)) {
+        out.fileExists = reader.fileExists();
+        out.error = out.fileExists
+                        ? path + " is not a DOLCKPT1 checkpoint"
+                        : "no checkpoint at " + path;
         return out;
     }
     out.fileExists = true;
-
-    std::string bytes;
-    char buffer[1 << 16];
-    std::size_t got = 0;
-    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
-        bytes.append(buffer, got);
-    std::fclose(file);
-
-    if (bytes.size() < sizeof kCheckpointMagic ||
-        std::memcmp(bytes.data(), kCheckpointMagic,
-                    sizeof kCheckpointMagic) != 0) {
-        out.error = path + " is not a DOLCKPT1 checkpoint";
-        return out;
-    }
     out.valid = true;
-    out.goodBytes = sizeof kCheckpointMagic;
+    out.goodBytes = reader.goodBytes();
 
-    const auto *data =
-        reinterpret_cast<const unsigned char *>(bytes.data());
-    std::size_t pos = sizeof kCheckpointMagic;
-    while (pos < bytes.size()) {
-        // Envelope, then payload; any shortfall or checksum mismatch
-        // is a torn tail — drop it and everything after.
-        if (bytes.size() - pos < kEnvelopeBytes)
-            break;
-        Cursor env{data + pos + 1, kEnvelopeBytes - 1};
-        const std::uint8_t type = data[pos];
-        const std::uint32_t length = env.u32();
-        const std::uint64_t checksum = env.u64();
-        if (bytes.size() - pos - kEnvelopeBytes < length)
-            break;
-        const unsigned char *payload = data + pos + kEnvelopeBytes;
-        if (fnv64(payload, length) != checksum)
-            break;
-
-        Cursor in{payload, length};
+    // A record whose checksum verifies but whose payload does not
+    // decode is as suspect as a torn tail: stop before it, so a
+    // resuming writer truncates it away. Unknown record types with a
+    // valid checksum are skipped instead — a journal written by a
+    // newer tool must not make the clean prefix end early (and then
+    // get truncated mid-file by openAppend).
+    bool decodeFailed = false;
+    FramedReader::Record rec;
+    while (reader.next(rec)) {
         bool parsed = true;
-        switch (type) {
-        case kPlan: {
+        switch (static_cast<JournalRecord>(rec.type)) {
+        case JournalRecord::kPlan: {
             JournalPlan plan;
-            plan.itemCount = in.u64();
-            plan.gridHash = in.u64();
-            plan.maxInstrs = in.u64();
-            if (in.ok)
+            parsed = decodePlanPayload(rec.payload, plan);
+            if (parsed)
                 out.plan = plan;
-            parsed = in.ok;
             break;
         }
-        case kJobDone: {
+        case JournalRecord::kJobDone: {
             JournalJobDone job;
-            job.jobIndex = in.u64();
-            job.label = in.str();
-            job.variant = in.str();
-            job.seed = in.u64();
-            job.wallMs = in.f64();
-            const std::uint32_t rows = in.u32();
-            for (std::uint32_t i = 0; i < rows && in.ok; ++i)
-                job.rows.push_back(readRow(in));
-            if (in.ok)
+            parsed = decodeJobDonePayload(rec.payload, job);
+            if (parsed)
                 out.jobs.push_back(std::move(job));
-            parsed = in.ok;
             break;
         }
-        case kCaseDone:
-            out.cases.push_back(in.u64());
-            parsed = in.ok;
+        case JournalRecord::kCaseDone: {
+            std::uint64_t index = 0;
+            parsed = decodeJobIndex(rec.payload, index);
+            if (parsed)
+                out.cases.push_back(index);
             break;
+        }
+        case JournalRecord::kCellFailed: {
+            JournalCellFailed failed;
+            parsed = decodeCellFailedPayload(rec.payload, failed);
+            if (parsed)
+                out.failedCells.push_back(std::move(failed));
+            break;
+        }
         default:
-            parsed = false;
             break;
         }
-        if (!parsed)
+        if (!parsed) {
+            decodeFailed = true;
             break;
-        pos += kEnvelopeBytes + length;
-        out.goodBytes = pos;
+        }
+        out.goodBytes =
+            rec.offset + kFrameEnvelopeBytes + rec.payload.size();
     }
-    out.cleanTail = out.goodBytes == bytes.size();
+    out.cleanTail = !decodeFailed && !reader.tornTail();
     return out;
 }
 

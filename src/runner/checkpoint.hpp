@@ -3,31 +3,45 @@
  * Crash-safe checkpoint journal for sweeps and fuzz campaigns.
  *
  * The journal is an append-only binary file ("DOLCKPT1" magic) of
- * length-prefixed, FNV-1a-checksummed records, fsync'd after every
- * append, so at any kill point — SIGKILL included — the file holds a
- * prefix of whole records plus at most one torn tail. The loader
- * stops at the first short or checksum-failing record, reports how
- * many clean bytes precede it, and a resuming writer truncates the
- * tail away before appending.
+ * length-prefixed, FNV-1a-checksummed records (framing shared with
+ * the DOLLEAS1 lease ledger — see runner/framed_file.hpp), fsync'd
+ * after every append, so at any kill point — SIGKILL included — the
+ * file holds a prefix of whole records plus at most one torn tail.
+ * The loader stops at the first short or checksum-failing record,
+ * reports how many clean bytes precede it, and a resuming writer
+ * truncates the tail away before appending.
  *
  * Record kinds:
- *   kPlan     sweep identity: item count, grid hash, instr budget.
- *             Written first; resume refuses a journal whose plan does
- *             not match the sweep being resumed.
- *   kJobDone  one completed sweep job: index, label, variant, seed,
- *             wall time, and every metric row the job produced —
- *             enough to merge the job into the final dol-sweep-v1
- *             document byte-identically without re-simulating.
- *             Doubles are stored bit-exact and counters as raw
- *             (scope, name, u64) triples, so no text round trip can
- *             perturb the resumed output.
- *   kCaseDone one passing fuzz-campaign case (index only). Failing
- *             cases are deliberately not journaled: a resumed
- *             campaign re-runs them, regenerating the identical diff
- *             and reproducer files.
+ *   kPlan       sweep identity: item count, grid hash, instr budget.
+ *               Written first; resume refuses a journal whose plan
+ *               does not match the sweep being resumed.
+ *   kJobDone    one completed sweep job: index, label, variant, seed,
+ *               wall time, and every metric row the job produced —
+ *               enough to merge the job into the final dol-sweep-v1
+ *               document byte-identically without re-simulating.
+ *               Doubles are stored bit-exact and counters as raw
+ *               (scope, name, u64) triples, so no text round trip can
+ *               perturb the resumed output.
+ *   kCaseDone   one passing fuzz-campaign case (index only). Failing
+ *               cases are deliberately not journaled: a resumed
+ *               campaign re-runs them, regenerating the identical
+ *               diff and reproducer files.
+ *   kCellFailed one quarantined cell (opt-in via
+ *               SweepOptions::journalFailures; fleet workers set it).
+ *               A resuming sweep re-runs these cells — the record
+ *               exists so a fleet coordinator can count the cell as
+ *               covered and the merger can surface it in the merged
+ *               document's failed_cells section instead of silently
+ *               dropping a foreign journal's losses.
  *
- * Only successes are journaled. Failed or in-flight work re-runs on
- * resume; the journal never has to encode an exception.
+ * In-flight work is never journaled and re-runs on resume; the
+ * journal never has to encode an exception mid-flight.
+ *
+ * Two read paths exist: CheckpointJournal::load() materializes every
+ * record (convenient for small journals), and CheckpointReader
+ * streams records one at a time with their file offsets — the fleet
+ * merger uses it to index 10k-cell journals and re-read individual
+ * rows without ever holding a whole journal in memory.
  */
 
 #ifndef DOL_RUNNER_CHECKPOINT_HPP
@@ -35,11 +49,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "runner/framed_file.hpp"
 #include "runner/result_store.hpp"
 
 namespace dol::runner
@@ -47,6 +61,15 @@ namespace dol::runner
 
 constexpr char kCheckpointMagic[8] = {'D', 'O', 'L', 'C',
                                       'K', 'P', 'T', '1'};
+
+/** Wire record types of the DOLCKPT1 format. */
+enum class JournalRecord : std::uint8_t
+{
+    kPlan = 1,
+    kJobDone = 2,
+    kCaseDone = 3,
+    kCellFailed = 4,
+};
 
 /** Identity of the sweep/campaign a journal belongs to. */
 struct JournalPlan
@@ -78,11 +101,32 @@ struct JournalJobDone
     std::vector<MetricsRow> rows;
 };
 
+/** One quarantined cell (journalFailures mode). */
+struct JournalCellFailed
+{
+    std::uint64_t jobIndex = 0;
+    FailedCell cell;
+};
+
+// Payload codecs, shared by the journal writer, load(), and the
+// fleet merger's two-pass streaming reads. Decoders return false on
+// a short or malformed payload and leave @p out unspecified.
+std::string encodePlanPayload(const JournalPlan &plan);
+std::string encodeJobDonePayload(const JournalJobDone &job);
+std::string encodeCellFailedPayload(const JournalCellFailed &failed);
+bool decodePlanPayload(const std::string &payload, JournalPlan &out);
+bool decodeJobDonePayload(const std::string &payload,
+                          JournalJobDone &out);
+bool decodeCellFailedPayload(const std::string &payload,
+                             JournalCellFailed &out);
+/** Decode just the leading jobIndex of a kJobDone/kCellFailed
+ *  payload — the cheap index pass of a streaming merge. */
+bool decodeJobIndex(const std::string &payload, std::uint64_t &out);
+
 class CheckpointJournal
 {
   public:
     CheckpointJournal() = default;
-    ~CheckpointJournal() { close(); }
 
     CheckpointJournal(const CheckpointJournal &) = delete;
     CheckpointJournal &operator=(const CheckpointJournal &) = delete;
@@ -105,8 +149,11 @@ class CheckpointJournal
     /** Append + fsync one passing campaign case. Thread-safe. */
     bool appendCaseDone(std::uint64_t case_index);
 
-    bool isOpen() const { return _file != nullptr; }
-    void close();
+    /** Append + fsync one quarantined cell. Thread-safe. */
+    bool appendCellFailed(const JournalCellFailed &record);
+
+    bool isOpen() const { return _file.isOpen(); }
+    void close() { _file.close(); }
 
     struct Load
     {
@@ -120,6 +167,7 @@ class CheckpointJournal
         std::optional<JournalPlan> plan;
         std::vector<JournalJobDone> jobs;
         std::vector<std::uint64_t> cases;
+        std::vector<JournalCellFailed> failedCells;
         std::string error;
     };
 
@@ -131,10 +179,35 @@ class CheckpointJournal
     static Load load(const std::string &path);
 
   private:
-    bool appendRecord(std::uint8_t type, const std::string &payload);
+    FramedWriter _file;
+};
 
-    std::mutex _mutex;
-    std::FILE *_file = nullptr;
+/**
+ * Streaming DOLCKPT1 reader: FramedReader pinned to the checkpoint
+ * magic. Iterate with next(); a record's offset can be revisited
+ * later with seek() — the cross-journal merge reads each journal
+ * once to index it, then seeks back to the winning record per cell,
+ * so peak memory stays one decoded row regardless of journal size.
+ */
+class CheckpointReader
+{
+  public:
+    bool
+    open(const std::string &path)
+    {
+        return _reader.open(path, kCheckpointMagic);
+    }
+
+    bool next(FramedReader::Record &out) { return _reader.next(out); }
+    bool seek(std::uint64_t offset) { return _reader.seek(offset); }
+
+    bool fileExists() const { return _reader.fileExists(); }
+    bool valid() const { return _reader.valid(); }
+    bool tornTail() const { return _reader.tornTail(); }
+    std::uint64_t goodBytes() const { return _reader.goodBytes(); }
+
+  private:
+    FramedReader _reader;
 };
 
 } // namespace dol::runner

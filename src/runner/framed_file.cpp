@@ -1,0 +1,189 @@
+#include "runner/framed_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "runner/wire.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dol::runner
+{
+
+bool
+FramedWriter::create(const std::string &path, const char (&magic)[8],
+                     std::string *error)
+{
+    std::lock_guard lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+    _file = std::fopen(path.c_str(), "wb");
+    if (!_file) {
+        if (error)
+            *error = "cannot create " + path;
+        return false;
+    }
+    if (std::fwrite(magic, 1, kFrameMagicBytes, _file) !=
+        kFrameMagicBytes) {
+        std::fclose(_file);
+        _file = nullptr;
+        if (error)
+            *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+FramedWriter::openAppend(const std::string &path,
+                         std::uint64_t good_bytes, std::string *error)
+{
+    std::lock_guard lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path, good_bytes, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot truncate " + path + ": " + ec.message();
+        return false;
+    }
+    _file = std::fopen(path.c_str(), "ab");
+    if (!_file) {
+        if (error)
+            *error = "cannot reopen " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+FramedWriter::appendRecord(std::uint8_t type,
+                           const std::string &payload)
+{
+    std::lock_guard lock(_mutex);
+    if (!_file)
+        return false;
+    std::string envelope;
+    envelope.push_back(static_cast<char>(type));
+    wire::putU32(envelope, static_cast<std::uint32_t>(payload.size()));
+    wire::putU64(envelope, fnv64(payload.data(), payload.size()));
+    if (std::fwrite(envelope.data(), 1, envelope.size(), _file) !=
+            envelope.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), _file) !=
+            payload.size()) {
+        return false;
+    }
+    // The fsync is the crash-safety point: once append returns, a
+    // SIGKILL cannot lose this record.
+    if (std::fflush(_file) != 0)
+        return false;
+    return fsync(fileno(_file)) == 0;
+}
+
+void
+FramedWriter::close()
+{
+    std::lock_guard lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+bool
+FramedReader::open(const std::string &path, const char (&magic)[8])
+{
+    close();
+    _fileExists = false;
+    _valid = false;
+    _tornTail = false;
+    _pos = 0;
+    _goodBytes = 0;
+
+    _file = std::fopen(path.c_str(), "rb");
+    if (!_file)
+        return false;
+    _fileExists = true;
+
+    char header[kFrameMagicBytes];
+    if (std::fread(header, 1, sizeof header, _file) != sizeof header ||
+        std::memcmp(header, magic, sizeof header) != 0) {
+        std::fclose(_file);
+        _file = nullptr;
+        return false;
+    }
+    _valid = true;
+    _pos = kFrameMagicBytes;
+    _goodBytes = kFrameMagicBytes;
+    return true;
+}
+
+bool
+FramedReader::next(Record &out)
+{
+    if (!_file)
+        return false;
+
+    unsigned char envelope[kFrameEnvelopeBytes];
+    const std::size_t got =
+        std::fread(envelope, 1, sizeof envelope, _file);
+    if (got == 0)
+        return false; // clean end of file
+    if (got != sizeof envelope) {
+        _tornTail = true;
+        return false;
+    }
+    wire::Cursor env{envelope + 1, sizeof envelope - 1};
+    const std::uint32_t length = env.u32();
+    const std::uint64_t checksum = env.u64();
+
+    std::string payload(length, '\0');
+    if (length > 0 &&
+        std::fread(payload.data(), 1, length, _file) != length) {
+        _tornTail = true;
+        return false;
+    }
+    if (fnv64(payload.data(), payload.size()) != checksum) {
+        _tornTail = true;
+        return false;
+    }
+
+    out.type = envelope[0];
+    out.payload = std::move(payload);
+    out.offset = _pos;
+    _pos += kFrameEnvelopeBytes + length;
+    // goodBytes only ever grows: a seek back and re-read must not
+    // shrink the clean prefix a resuming writer will keep.
+    if (_pos > _goodBytes)
+        _goodBytes = _pos;
+    return true;
+}
+
+bool
+FramedReader::seek(std::uint64_t offset)
+{
+    if (!_file)
+        return false;
+    if (std::fseek(_file, static_cast<long>(offset), SEEK_SET) != 0)
+        return false;
+    _pos = offset;
+    _tornTail = false;
+    return true;
+}
+
+void
+FramedReader::close()
+{
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+} // namespace dol::runner

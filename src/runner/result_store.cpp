@@ -131,11 +131,8 @@ ResultStore::toCsv() const
     return out;
 }
 
-namespace
-{
-
 void
-writeRow(JsonWriter &json, const MetricsRow &row)
+writeMetricsRowJson(JsonWriter &json, const MetricsRow &row)
 {
     json.beginObject();
     json.field("workload", row.workload);
@@ -166,7 +163,18 @@ writeRow(JsonWriter &json, const MetricsRow &row)
     json.endObject();
 }
 
-} // namespace
+void
+writeFailedCellJson(JsonWriter &json, const FailedCell &cell)
+{
+    json.beginObject();
+    json.field("label", cell.label);
+    json.field("variant", cell.variant);
+    json.field("seed", cell.seed);
+    json.field("attempts", cell.attempts);
+    json.field("kind", cell.kind);
+    json.field("error", cell.error);
+    json.endObject();
+}
 
 std::string
 ResultStore::resultsJson() const
@@ -174,7 +182,7 @@ ResultStore::resultsJson() const
     JsonWriter json;
     json.beginArray();
     for (const MetricsRow &row : rows())
-        writeRow(json, row);
+        writeMetricsRowJson(json, row);
     json.endArray();
     return json.take();
 }
@@ -192,7 +200,7 @@ ResultStore::toJson(const SweepMeta &meta) const
 
     json.key("results").beginArray();
     for (const MetricsRow &row : rows())
-        writeRow(json, row);
+        writeMetricsRowJson(json, row);
     json.endArray();
 
     // Quarantined cells (retry budget exhausted). Emitted only when
@@ -200,16 +208,8 @@ ResultStore::toJson(const SweepMeta &meta) const
     // produced before fault tolerance existed.
     if (!meta.failedCells.empty()) {
         json.key("failed_cells").beginArray();
-        for (const FailedCell &cell : meta.failedCells) {
-            json.beginObject();
-            json.field("label", cell.label);
-            json.field("variant", cell.variant);
-            json.field("seed", cell.seed);
-            json.field("attempts", cell.attempts);
-            json.field("kind", cell.kind);
-            json.field("error", cell.error);
-            json.endObject();
-        }
+        for (const FailedCell &cell : meta.failedCells)
+            writeFailedCellJson(json, cell);
         json.endArray();
     }
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Little-endian wire encoding shared by the durable on-disk formats
+ * (DOLCKPT1 checkpoint journals, DOLLEAS1 lease ledgers).
+ *
+ * Every integer is serialized little-endian byte by byte, independent
+ * of host order, and doubles travel bit-exact through u64 so no text
+ * round trip can perturb a resumed or merged value. The Cursor is a
+ * bounds-checked reader: any shortfall flips `ok` and every later
+ * read returns zero, so record decoders can run a straight-line
+ * sequence of reads and check `ok` once at the end.
+ */
+
+#ifndef DOL_RUNNER_WIRE_HPP
+#define DOL_RUNNER_WIRE_HPP
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace dol::runner::wire
+{
+
+inline void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void
+putF64(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Bounds-checked little-endian reader over a payload. */
+struct Cursor
+{
+    const unsigned char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(std::size_t n)
+    {
+        if (!ok || size - pos < n)
+            ok = false;
+        return ok;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+} // namespace dol::runner::wire
+
+#endif // DOL_RUNNER_WIRE_HPP

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Shared property-test harness for the fleet subsystem: drive the
+ * real FleetCoordinator + LeaseLedger + merger over a synthetic
+ * N-cell grid with a seeded random partition (1–16 leases) and a
+ * seeded random kill schedule (forked journal-writer children that
+ * _Exit mid-range), and assert the merged document's deterministic
+ * prefix always byte-equals a ResultStore reference built from the
+ * same rows.
+ *
+ * The cells are fabricated (a pure function of the cell index), not
+ * simulated, so hundreds of cells per round cost milliseconds — the
+ * property under test is the coordinator/ledger/merge machinery, not
+ * the simulator. test_fleet.cpp runs a small tier-1 smoke of this
+ * harness; test_fleet_property.cpp runs the 200-cell tier-2 battery.
+ */
+
+#ifndef DOL_TESTS_FLEET_PROPERTY_HPP
+#define DOL_TESTS_FLEET_PROPERTY_HPP
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fleet/coordinator.hpp"
+#include "fleet/ledger.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/result_store.hpp"
+
+namespace fleet_property
+{
+
+using namespace dol;
+
+inline std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+inline bool
+readFileTo(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+/** Everything before the wall-clock-dependent "timing" key. */
+inline std::string
+deterministicPrefix(const std::string &document)
+{
+    const std::size_t pos = document.find("\"timing\"");
+    return pos == std::string::npos ? std::string()
+                                    : document.substr(0, pos);
+}
+
+/** Synthetic metric row: a pure function of the cell index, so a
+ *  re-granted lease re-fabricates bit-identical data. */
+inline runner::MetricsRow
+rowFor(std::uint64_t cell)
+{
+    runner::MetricsRow row;
+    row.workload = "syn" + std::to_string(cell % 7) + ".syn";
+    row.prefetcher = (cell % 2) ? "SPP" : "TPC";
+    row.variant = ":v" + std::to_string(cell);
+    row.seed = 0x9e3779b97f4a7c15ull * (cell + 1);
+    row.baselineIpc = 0.5 + 0.001 * static_cast<double>(cell);
+    row.ipc = 1.0 + 0.002 * static_cast<double>(cell);
+    row.speedup = row.ipc / row.baselineIpc;
+    row.baselineMpkiL1 = 10.0 + static_cast<double>(cell);
+    row.prefetchesIssued = 1000 + cell;
+    row.scope = 0.5;
+    row.effAccuracyL1 = 0.25;
+    row.effCoverageL1 = 0.125;
+    row.effAccuracyL2 = 0.0625;
+    row.effCoverageL2 = 0.03125;
+    row.trafficNormalized =
+        1.0 + 0.001 * static_cast<double>(cell);
+    row.instructions = 4000;
+    row.counters.set("t2", "streams", cell);
+    return row;
+}
+
+/** Deterministically quarantined cells (every lease generation agrees,
+ *  so the reference is independent of the kill schedule). */
+inline bool
+cellFails(std::uint64_t cell)
+{
+    return cell % 17 == 5;
+}
+
+inline runner::FailedCell
+failureFor(std::uint64_t cell)
+{
+    runner::FailedCell out;
+    out.label = rowFor(cell).prefetcher + "/" + rowFor(cell).workload;
+    out.variant = ":v" + std::to_string(cell);
+    out.seed = rowFor(cell).seed;
+    out.attempts = 1;
+    out.kind = "error";
+    out.error = "synthetic failure in cell " + std::to_string(cell);
+    return out;
+}
+
+inline runner::JournalJobDone
+jobFor(std::uint64_t cell)
+{
+    runner::JournalJobDone job;
+    job.jobIndex = cell;
+    const runner::MetricsRow row = rowFor(cell);
+    job.label = row.prefetcher + "/" + row.workload;
+    job.variant = row.variant;
+    job.seed = row.seed;
+    job.wallMs = 1.0; // deterministic: not under test
+    job.rows.push_back(row);
+    return job;
+}
+
+/** Worker-child body: journal the leased range in order, dying after
+ *  @p kill_after cells when non-negative (std::_Exit — no unwinding,
+ *  SIGKILL semantics). */
+inline void
+writeWorkerJournal(const std::string &lease_dir,
+                   const runner::JournalPlan &plan,
+                   const fleet::LeaseGrant &grant,
+                   std::int64_t kill_after)
+{
+    runner::CheckpointJournal journal;
+    if (!journal.create(
+            fleet::leaseJournalPath(lease_dir, grant.leaseId), plan))
+        std::_Exit(1);
+    std::int64_t written = 0;
+    for (std::uint64_t cell = grant.begin; cell < grant.end; ++cell) {
+        if (kill_after >= 0 && written == kill_after)
+            std::_Exit(137);
+        if (cellFails(cell)) {
+            runner::JournalCellFailed failed;
+            failed.jobIndex = cell;
+            failed.cell = failureFor(cell);
+            journal.appendCellFailed(failed);
+        } else {
+            journal.appendJobDone(jobFor(cell));
+        }
+        ++written;
+    }
+}
+
+/**
+ * One property round: random lease count and worker count, random
+ * kill schedule over generation-0 leases, real coordinator, then the
+ * byte-identity and ledger-lifecycle assertions.
+ */
+inline void
+runFleetPropertyRound(std::uint64_t cells, std::mt19937_64 &rng,
+                      const std::string &dir,
+                      unsigned force_leases = 0)
+{
+    runner::JournalPlan plan;
+    plan.itemCount = cells;
+    plan.gridHash = 0xF1EE7C0DEull ^ cells;
+    plan.maxInstrs = 4000;
+
+    // Reference document: the rows a single uninterrupted process
+    // would aggregate, serialized by ResultStore itself.
+    runner::ResultStore store;
+    runner::SweepMeta meta;
+    meta.generator = "synthetic-fleet";
+    meta.maxInstrs = plan.maxInstrs;
+    for (std::uint64_t cell = 0; cell < cells; ++cell) {
+        if (cellFails(cell)) {
+            meta.failedCells.push_back(failureFor(cell));
+        } else {
+            store.append(rowFor(cell));
+            meta.wallMs.push_back(1.0);
+        }
+    }
+    const std::string reference =
+        deterministicPrefix(store.toJson(meta));
+    ASSERT_FALSE(reference.empty());
+
+    fleet::FleetOptions options;
+    options.leaseDir = dir;
+    options.workers = 1 + static_cast<unsigned>(rng() % 4);
+    options.leases = force_leases
+                         ? force_leases
+                         : 1 + static_cast<unsigned>(rng() % 16);
+    options.leaseTtlMs = 30000;
+    options.outputPath = dir + "/merged.json";
+
+    const auto spawn = [&](const fleet::LeaseGrant &grant) -> pid_t {
+        // Kill schedule (parent-side, so the seeded stream is shared
+        // and replayable): half the leases of the first two
+        // generations die mid-range, so a re-granted lease can itself
+        // be killed — well inside the maxGenerations budget.
+        std::int64_t kill_after = -1;
+        if (grant.generation < 2 && rng() % 2 == 0)
+            kill_after = static_cast<std::int64_t>(
+                rng() % (grant.end - grant.begin));
+        std::fflush(nullptr);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            writeWorkerJournal(dir, plan, grant, kill_after);
+            std::_Exit(0);
+        }
+        return pid;
+    };
+
+    fleet::FleetCoordinator coordinator(plan, options, spawn);
+    runner::SweepMeta merge_meta;
+    merge_meta.generator = meta.generator;
+    merge_meta.maxInstrs = meta.maxInstrs;
+    const fleet::FleetReport report = coordinator.run(merge_meta);
+    ASSERT_TRUE(report.ok) << report.error;
+    ASSERT_TRUE(report.merge.ok) << report.merge.error;
+
+    std::string merged;
+    ASSERT_TRUE(readFileTo(options.outputPath, merged));
+    EXPECT_EQ(deterministicPrefix(merged), reference)
+        << "merged document diverged from the single-process "
+           "reference (workers="
+        << options.workers << " leases=" << options.leases << ")";
+
+    const auto ledger =
+        fleet::LeaseLedger::load(fleet::ledgerPath(dir));
+    ASSERT_TRUE(ledger.valid) << ledger.error;
+    EXPECT_TRUE(ledger.consistent) << ledger.inconsistency;
+    std::size_t successors = 0;
+    for (const fleet::LeaseGrant &grant : ledger.grants) {
+        if (grant.parentLease != fleet::kNoParentLease)
+            ++successors;
+    }
+    EXPECT_EQ(successors, ledger.expired.size())
+        << "every expired lease must be re-granted exactly once";
+    EXPECT_EQ(ledger.completed.size() + ledger.expired.size(),
+              ledger.grants.size())
+        << "every lease must settle as completed or expired";
+}
+
+inline void
+runFleetPropertyRounds(std::uint64_t cells, unsigned rounds,
+                       std::uint64_t seed, const std::string &tag)
+{
+    std::mt19937_64 rng(seed);
+    for (unsigned round = 0; round < rounds; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const std::string dir =
+            freshDir(tag + "_r" + std::to_string(round));
+        runFleetPropertyRound(cells, rng, dir);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+} // namespace fleet_property
+
+#endif // DOL_TESTS_FLEET_PROPERTY_HPP

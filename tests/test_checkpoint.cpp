@@ -24,6 +24,7 @@
 
 #include "runner/checkpoint.hpp"
 #include "runner/fault.hpp"
+#include "runner/framed_file.hpp"
 #include "runner/progress.hpp"
 #include "runner/sweep.hpp"
 #include "trace/trace_io.hpp"
@@ -682,6 +683,162 @@ TEST(FaultTolerance, GoldenCellsSurviveKillAndResume)
     }
     for (const GoldenCell &cell : kGoldenCells)
         std::remove(goldenTracePath(cell).c_str());
+}
+
+// ---------------------------------------------------------------------
+// Multi-journal regressions: the fleet reads journals it did not
+// write, so the loader must tolerate records it does not know and
+// must never manufacture progress from records it cannot decode.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointJournal, UnknownRecordTypesAreSkippedNotTruncated)
+{
+    const std::string path = tempPath("ckpt_unknown.bin");
+    std::remove(path.c_str());
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.create(path, samplePlan()));
+        ASSERT_TRUE(journal.appendCaseDone(1));
+    }
+    // A record type from a future tool version, checksum intact.
+    {
+        runner::FramedWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.openAppend(path, fileSize(path), &error))
+            << error;
+        ASSERT_TRUE(writer.appendRecord(200, "from-the-future"));
+    }
+
+    auto loaded = runner::CheckpointJournal::load(path);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    EXPECT_TRUE(loaded.cleanTail) << "unknown is not torn";
+    EXPECT_EQ(loaded.goodBytes, fileSize(path))
+        << "the clean prefix must span the unknown record, or a "
+           "resuming writer would truncate it mid-file";
+    ASSERT_EQ(loaded.cases.size(), 1u);
+
+    // Appending through the journal keeps the unknown record whole.
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.openAppend(path, loaded.goodBytes));
+        ASSERT_TRUE(journal.appendCaseDone(2));
+    }
+    loaded = runner::CheckpointJournal::load(path);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_TRUE(loaded.cleanTail);
+    EXPECT_EQ(loaded.cases,
+              (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CheckpointJournal, UndecodablePayloadEndsCleanPrefixNotACase)
+{
+    const std::string path = tempPath("ckpt_phantom.bin");
+    std::remove(path.c_str());
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.create(path, samplePlan()));
+        ASSERT_TRUE(journal.appendCaseDone(1));
+    }
+    const std::uint64_t before = fileSize(path);
+    // A kCaseDone whose checksum verifies but whose payload is 3
+    // bytes (an index needs 8): as suspect as a torn tail.
+    {
+        runner::FramedWriter writer;
+        ASSERT_TRUE(writer.openAppend(path, before, nullptr));
+        ASSERT_TRUE(writer.appendRecord(
+            static_cast<std::uint8_t>(
+                runner::JournalRecord::kCaseDone),
+            "abc"));
+    }
+
+    const auto loaded = runner::CheckpointJournal::load(path);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_FALSE(loaded.cleanTail);
+    EXPECT_EQ(loaded.goodBytes, before)
+        << "a resuming writer must truncate the undecodable record";
+    ASSERT_EQ(loaded.cases.size(), 1u)
+        << "no phantom case may be manufactured from the payload";
+    EXPECT_EQ(loaded.cases[0], 1u);
+}
+
+TEST(CheckpointJournal, CellFailedRecordsRoundTrip)
+{
+    const std::string path = tempPath("ckpt_cellfailed.bin");
+    std::remove(path.c_str());
+
+    runner::JournalCellFailed failed;
+    failed.jobIndex = 2;
+    failed.cell.label = "TPC/mcf.syn";
+    failed.cell.variant = ":v1";
+    failed.cell.seed = 0xfeedfacefeedfaceull;
+    failed.cell.attempts = 3;
+    failed.cell.kind = "timeout";
+    failed.cell.error = "cell deadline expired";
+    {
+        runner::CheckpointJournal journal;
+        ASSERT_TRUE(journal.create(path, samplePlan()));
+        ASSERT_TRUE(journal.appendJobDone(sampleJob()));
+        ASSERT_TRUE(journal.appendCellFailed(failed));
+    }
+
+    const auto loaded = runner::CheckpointJournal::load(path);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    EXPECT_TRUE(loaded.cleanTail);
+    ASSERT_EQ(loaded.jobs.size(), 1u);
+    ASSERT_EQ(loaded.failedCells.size(), 1u);
+    const runner::JournalCellFailed &got = loaded.failedCells[0];
+    EXPECT_EQ(got.jobIndex, failed.jobIndex);
+    EXPECT_EQ(got.cell.label, failed.cell.label);
+    EXPECT_EQ(got.cell.variant, failed.cell.variant);
+    EXPECT_EQ(got.cell.seed, failed.cell.seed);
+    EXPECT_EQ(got.cell.attempts, failed.cell.attempts);
+    EXPECT_EQ(got.cell.kind, failed.cell.kind);
+    EXPECT_EQ(got.cell.error, failed.cell.error);
+}
+
+TEST(FaultTolerance, ResumeReRunsJournaledFailedCells)
+{
+    runner::SweepOptions base_options;
+    base_options.jobs = 1;
+    auto baseline_sweep = makeGridSweep(base_options);
+    const std::string baseline_results =
+        baseline_sweep.run().store.resultsJson();
+
+    const std::string ckpt = tempPath("ckpt_failed_resume.bin");
+    std::remove(ckpt.c_str());
+    runner::FaultPlan plan;
+    ASSERT_TRUE(runner::FaultPlan::parse("throw@2", plan));
+    {
+        runner::SweepOptions options;
+        options.jobs = 1;
+        options.checkpointPath = ckpt;
+        options.onError = runner::SweepOptions::OnError::kQuarantine;
+        options.journalFailures = true;
+        options.faultPlan = &plan;
+        auto sweep = makeGridSweep(options);
+        const auto report = sweep.run();
+        ASSERT_EQ(report.meta.failedCells.size(), 1u);
+    }
+    const auto journal = runner::CheckpointJournal::load(ckpt);
+    ASSERT_TRUE(journal.valid) << journal.error;
+    EXPECT_TRUE(journal.cleanTail);
+    ASSERT_EQ(journal.failedCells.size(), 1u);
+    EXPECT_EQ(journal.failedCells[0].jobIndex, 2u);
+    EXPECT_EQ(journal.jobs.size(), 3u);
+
+    // Resume without the fault: the journaled failure does not count
+    // as done, so the cell re-runs, succeeds, and the document
+    // completes byte-identical to the uninterrupted baseline.
+    runner::SweepOptions resume_options;
+    resume_options.jobs = 1;
+    resume_options.checkpointPath = ckpt;
+    resume_options.resume = true;
+    auto resumed_sweep = makeGridSweep(resume_options);
+    const auto resumed = resumed_sweep.run();
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_TRUE(resumed.meta.failedCells.empty());
+    EXPECT_EQ(resumed.meta.resumedJobs, 3u);
+    EXPECT_EQ(resumed.store.resultsJson(), baseline_results);
 }
 
 } // namespace

@@ -1,0 +1,756 @@
+/**
+ * @file
+ * Fleet subsystem tests: DOLLEAS1 lease-ledger round trips, torn-tail
+ * recovery and fuzzed malformed inputs, semantic replay validation
+ * (expired lease re-granted exactly once), range partitioning
+ * properties, worker range execution, the streaming journal merger
+ * (first-committed-wins dedup, bounded rows held, quarantine
+ * surfacing), and the full kill-mid-range fleet whose merged document
+ * must byte-equal single-process runs at --jobs 1 and --jobs 4.
+ *
+ * Worker deaths are real process deaths: forked children _Exit with
+ * no unwinding (abort faults), exactly like SIGKILL.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "fleet/coordinator.hpp"
+#include "fleet/ledger.hpp"
+#include "fleet/merge.hpp"
+#include "fleet/worker.hpp"
+#include "fleet_property.hpp"
+#include "runner/checkpoint.hpp"
+#include "runner/fault.hpp"
+#include "runner/framed_file.hpp"
+#include "runner/sweep.hpp"
+#include "workloads/suite.hpp"
+
+namespace
+{
+
+using namespace dol;
+using fleet_property::deterministicPrefix;
+using fleet_property::freshDir;
+using fleet_property::jobFor;
+using fleet_property::readFileTo;
+using fleet_property::rowFor;
+
+runner::JournalPlan
+plan6()
+{
+    runner::JournalPlan plan;
+    plan.itemCount = 6;
+    plan.gridHash = 0x5eedf00dull;
+    plan.maxInstrs = 4000;
+    return plan;
+}
+
+fleet::LeaseGrant
+grantOf(std::uint64_t id, std::uint64_t begin, std::uint64_t end,
+        std::uint64_t generation = 0,
+        std::uint64_t parent = fleet::kNoParentLease,
+        std::uint64_t ttl_ms = 30000)
+{
+    fleet::LeaseGrant grant;
+    grant.leaseId = id;
+    grant.begin = begin;
+    grant.end = end;
+    grant.generation = generation;
+    grant.parentLease = parent;
+    grant.ttlMs = ttl_ms;
+    return grant;
+}
+
+/** 6-cell grid (3 workloads x 2 prefetchers), small budget. */
+runner::SweepRunner
+makeFleetSweep(runner::SweepOptions options)
+{
+    SimConfig config;
+    config.maxInstrs = 4000;
+    options.progress = false;
+    runner::SweepRunner sweep(config, std::move(options));
+    sweep.addGrid({findWorkload("libquantum.syn"),
+                   findWorkload("mcf.syn"),
+                   findWorkload("omnetpp.syn")},
+                  {"TPC", "SPP"});
+    return sweep;
+}
+
+// ---------------------------------------------------------------------
+// DOLLEAS1 ledger
+// ---------------------------------------------------------------------
+
+TEST(LeaseLedger, RoundTripsLifecycleRecords)
+{
+    const std::string dir = freshDir("ledger_roundtrip");
+    const std::string path = fleet::ledgerPath(dir);
+
+    const fleet::LeaseGrant g1 = grantOf(1, 0, 3);
+    const fleet::LeaseGrant g2 = grantOf(2, 3, 6, 0,
+                                         fleet::kNoParentLease, 750);
+    const fleet::LeaseGrant g3 = grantOf(3, 4, 6, 1, 2);
+    {
+        fleet::LeaseLedger ledger;
+        std::string error;
+        ASSERT_TRUE(ledger.create(path, plan6(), &error)) << error;
+        ASSERT_TRUE(ledger.appendGrant(g1));
+        ASSERT_TRUE(ledger.appendGrant(g2));
+        ASSERT_TRUE(ledger.appendComplete(1));
+        ASSERT_TRUE(ledger.appendExpire(2));
+        ASSERT_TRUE(ledger.appendGrant(g3));
+        ASSERT_TRUE(ledger.appendComplete(3));
+    }
+
+    const auto loaded = fleet::LeaseLedger::load(path);
+    ASSERT_TRUE(loaded.fileExists);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    EXPECT_TRUE(loaded.cleanTail);
+    EXPECT_TRUE(loaded.consistent) << loaded.inconsistency;
+    ASSERT_TRUE(loaded.plan.has_value());
+    EXPECT_TRUE(*loaded.plan == plan6());
+
+    ASSERT_EQ(loaded.grants.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const fleet::LeaseGrant &expected =
+            i == 0 ? g1 : (i == 1 ? g2 : g3);
+        const fleet::LeaseGrant &actual = loaded.grants[i];
+        EXPECT_EQ(actual.leaseId, expected.leaseId);
+        EXPECT_EQ(actual.begin, expected.begin);
+        EXPECT_EQ(actual.end, expected.end);
+        EXPECT_EQ(actual.generation, expected.generation);
+        EXPECT_EQ(actual.parentLease, expected.parentLease);
+        EXPECT_EQ(actual.ttlMs, expected.ttlMs);
+    }
+    EXPECT_EQ(loaded.completed,
+              (std::vector<std::uint64_t>{1, 3}));
+    EXPECT_EQ(loaded.expired, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(LeaseLedger, TornTailIsDroppedAndAppendResumes)
+{
+    const std::string dir = freshDir("ledger_torn");
+    const std::string path = fleet::ledgerPath(dir);
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(ledger.create(path, plan6()));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(1, 0, 6)));
+    }
+    // A coordinator SIGKILLed mid-append leaves a partial record.
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out.write("\x03\xff\xff", 3);
+    }
+
+    auto loaded = fleet::LeaseLedger::load(path);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    EXPECT_FALSE(loaded.cleanTail);
+    EXPECT_TRUE(loaded.consistent);
+    ASSERT_EQ(loaded.grants.size(), 1u);
+
+    // Reopening truncates the torn tail; the appended record lands on
+    // the clean prefix and the ledger reads back whole again.
+    {
+        fleet::LeaseLedger ledger;
+        std::string error;
+        ASSERT_TRUE(
+            ledger.openAppend(path, loaded.goodBytes, &error))
+            << error;
+        ASSERT_TRUE(ledger.appendComplete(1));
+    }
+    loaded = fleet::LeaseLedger::load(path);
+    ASSERT_TRUE(loaded.valid);
+    EXPECT_TRUE(loaded.cleanTail);
+    EXPECT_TRUE(loaded.consistent);
+    EXPECT_EQ(loaded.completed, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(LeaseLedger, MalformedInputsNeverCrashTheReader)
+{
+    const std::string dir = freshDir("ledger_fuzz");
+    const std::string path = dir + "/fuzzed.dolleas";
+
+    // Missing / empty / wrong-magic files report cleanly.
+    EXPECT_FALSE(fleet::LeaseLedger::load(path).fileExists);
+    {
+        std::ofstream out(path, std::ios::binary);
+    }
+    auto empty = fleet::LeaseLedger::load(path);
+    EXPECT_TRUE(empty.fileExists);
+    EXPECT_FALSE(empty.valid);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "DOLCKPT1not-a-ledger";
+    }
+    EXPECT_FALSE(fleet::LeaseLedger::load(path).valid);
+
+    // Seeded mutation fuzz over a healthy ledger: truncations, byte
+    // flips, splices, and duplicated slices must never crash, hang,
+    // or report an impossible combination.
+    std::string pristine;
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(ledger.create(path, plan6()));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(1, 0, 3)));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(2, 3, 6)));
+        ASSERT_TRUE(ledger.appendComplete(1));
+        ASSERT_TRUE(ledger.appendExpire(2));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(3, 3, 6, 1, 2)));
+    }
+    ASSERT_TRUE(readFileTo(path, pristine));
+
+    std::mt19937_64 rng(0xD01F1EE7ull);
+    for (int iteration = 0; iteration < 300; ++iteration) {
+        std::string bytes = pristine;
+        switch (rng() % 4) {
+        case 0: // truncate anywhere, including inside the magic
+            bytes.resize(rng() % (bytes.size() + 1));
+            break;
+        case 1: { // flip a byte
+            const std::size_t at = rng() % bytes.size();
+            bytes[at] = static_cast<char>(bytes[at] ^
+                                          (1u << (rng() % 8)));
+            break;
+        }
+        case 2: { // splice garbage into the middle
+            const std::size_t at = rng() % bytes.size();
+            std::string junk;
+            for (std::size_t i = 0; i < 1 + rng() % 16; ++i)
+                junk.push_back(static_cast<char>(rng()));
+            bytes.insert(at, junk);
+            break;
+        }
+        default: { // duplicate a slice (repeated records)
+            const std::size_t from = rng() % bytes.size();
+            const std::size_t len =
+                1 + rng() % (bytes.size() - from);
+            bytes.append(bytes, from, len);
+            break;
+        }
+        }
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        const auto loaded = fleet::LeaseLedger::load(path);
+        EXPECT_TRUE(loaded.fileExists);
+        if (!loaded.valid)
+            continue;
+        // Whatever survived must still be internally ordered.
+        for (std::size_t i = 1; i < loaded.grants.size(); ++i) {
+            if (loaded.consistent)
+                EXPECT_LT(loaded.grants[i - 1].leaseId,
+                          loaded.grants[i].leaseId);
+        }
+    }
+}
+
+TEST(LeaseLedger, SemanticViolationsLoadAsInconsistent)
+{
+    const std::string dir = freshDir("ledger_semantics");
+    const auto loadAfter =
+        [&](const std::string &name,
+            const std::function<void(fleet::LeaseLedger &)> &write) {
+            const std::string path = dir + "/" + name + ".dolleas";
+            fleet::LeaseLedger ledger;
+            EXPECT_TRUE(ledger.create(path, plan6()));
+            write(ledger);
+            ledger.close();
+            return fleet::LeaseLedger::load(path);
+        };
+
+    const auto nonIncreasing =
+        loadAfter("dup_id", [](fleet::LeaseLedger &ledger) {
+            ledger.appendGrant(grantOf(2, 0, 3));
+            ledger.appendGrant(grantOf(2, 3, 6));
+        });
+    EXPECT_TRUE(nonIncreasing.valid);
+    EXPECT_FALSE(nonIncreasing.consistent);
+
+    const auto unknownComplete =
+        loadAfter("unknown_complete", [](fleet::LeaseLedger &ledger) {
+            ledger.appendComplete(9);
+        });
+    EXPECT_FALSE(unknownComplete.consistent);
+
+    const auto doubleExpire =
+        loadAfter("double_expire", [](fleet::LeaseLedger &ledger) {
+            ledger.appendGrant(grantOf(1, 0, 6));
+            ledger.appendExpire(1);
+            ledger.appendExpire(1);
+        });
+    EXPECT_FALSE(doubleExpire.consistent);
+
+    const auto twoSuccessors =
+        loadAfter("two_successors", [](fleet::LeaseLedger &ledger) {
+            ledger.appendGrant(grantOf(1, 0, 6));
+            ledger.appendExpire(1);
+            ledger.appendGrant(grantOf(2, 0, 6, 1, 1));
+            ledger.appendGrant(grantOf(3, 0, 6, 1, 1));
+        });
+    EXPECT_FALSE(twoSuccessors.consistent);
+
+    const auto outOfPlan =
+        loadAfter("out_of_plan", [](fleet::LeaseLedger &ledger) {
+            ledger.appendGrant(grantOf(1, 4, 9));
+        });
+    EXPECT_FALSE(outOfPlan.consistent);
+
+    // A grant can never precede the plan record (raw framed write).
+    const std::string headless = dir + "/headless.dolleas";
+    {
+        runner::FramedWriter writer;
+        ASSERT_TRUE(
+            writer.create(headless, fleet::kLedgerMagic, nullptr));
+        writer.appendRecord(
+            static_cast<std::uint8_t>(fleet::LedgerRecord::kGrant),
+            fleet::encodeGrantPayload(grantOf(1, 0, 6)));
+    }
+    const auto planless = fleet::LeaseLedger::load(headless);
+    EXPECT_TRUE(planless.valid);
+    EXPECT_FALSE(planless.consistent);
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+TEST(PartitionRange, CoversEveryCellWithBalancedContiguousRanges)
+{
+    for (std::uint64_t count = 0; count <= 257; ++count) {
+        for (unsigned parts = 1; parts <= 16; ++parts) {
+            const auto ranges = runner::partitionRange(count, parts);
+            const std::uint64_t expect_ranges =
+                count < parts ? count : parts;
+            ASSERT_EQ(ranges.size(), expect_ranges)
+                << "count=" << count << " parts=" << parts;
+            std::uint64_t next = 0;
+            std::uint64_t smallest = UINT64_MAX, largest = 0;
+            for (const auto &[begin, end] : ranges) {
+                ASSERT_EQ(begin, next);
+                ASSERT_LT(begin, end);
+                const std::uint64_t len = end - begin;
+                smallest = std::min(smallest, len);
+                largest = std::max(largest, len);
+                next = end;
+            }
+            ASSERT_EQ(next, count);
+            if (!ranges.empty())
+                ASSERT_LE(largest - smallest, 1u)
+                    << "count=" << count << " parts=" << parts;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+TEST(FleetWorker, ExecutesExactlyItsLeasedRange)
+{
+    const std::string dir = freshDir("worker_range");
+    auto sweep = makeFleetSweep({});
+    const runner::JournalPlan plan = sweep.plan();
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(ledger.create(fleet::ledgerPath(dir), plan));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(1, 2, 5)));
+    }
+
+    fleet::WorkerOptions options;
+    options.leaseDir = dir;
+    options.leaseId = 1;
+    std::string error;
+    runner::SweepOptions sweep_options;
+    sweep_options.jobs = 1;
+    sweep_options.progress = false;
+    EXPECT_EQ(fleet::runFleetWorker(sweep, sweep_options, options,
+                                    &error),
+              fleet::kWorkerOk)
+        << error;
+
+    const auto journal = runner::CheckpointJournal::load(
+        fleet::leaseJournalPath(dir, 1));
+    ASSERT_TRUE(journal.valid) << journal.error;
+    std::vector<std::uint64_t> cells;
+    for (const runner::JournalJobDone &job : journal.jobs)
+        cells.push_back(job.jobIndex);
+    EXPECT_EQ(cells, (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(FleetWorker, RefusesMismatchedPlanOrUnknownLease)
+{
+    const std::string dir = freshDir("worker_refuse");
+    runner::JournalPlan other = plan6();
+    other.gridHash ^= 1; // not this sweep's grid
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(ledger.create(fleet::ledgerPath(dir), other));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(1, 0, 3)));
+    }
+    auto sweep = makeFleetSweep({});
+    fleet::WorkerOptions options;
+    options.leaseDir = dir;
+    options.leaseId = 1;
+    std::string error;
+    EXPECT_EQ(fleet::runFleetWorker(sweep, {}, options, &error),
+              fleet::kWorkerSetupError);
+    EXPECT_FALSE(error.empty());
+
+    const std::string dir2 = freshDir("worker_refuse2");
+    auto sweep2 = makeFleetSweep({});
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(
+            ledger.create(fleet::ledgerPath(dir2), sweep2.plan()));
+    }
+    fleet::WorkerOptions unknown;
+    unknown.leaseDir = dir2;
+    unknown.leaseId = 42; // never granted
+    error.clear();
+    EXPECT_EQ(fleet::runFleetWorker(sweep2, {}, unknown, &error),
+              fleet::kWorkerSetupError);
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------
+// Merger
+// ---------------------------------------------------------------------
+
+/** Journal @p cells (jobFor rows) into a fresh per-lease journal. */
+void
+writeJournal(const std::string &dir, std::uint64_t lease_id,
+             const runner::JournalPlan &plan,
+             const std::vector<runner::JournalJobDone> &jobs,
+             const std::vector<runner::JournalCellFailed> &failed = {})
+{
+    runner::CheckpointJournal journal;
+    ASSERT_TRUE(journal.create(
+        fleet::leaseJournalPath(dir, lease_id), plan));
+    for (const auto &rec : failed)
+        ASSERT_TRUE(journal.appendCellFailed(rec));
+    for (const auto &job : jobs)
+        ASSERT_TRUE(journal.appendJobDone(job));
+}
+
+runner::JournalPlan
+plan3()
+{
+    runner::JournalPlan plan;
+    plan.itemCount = 3;
+    plan.gridHash = 0xABCull;
+    plan.maxInstrs = 4000;
+    return plan;
+}
+
+runner::JournalJobDone
+markedJob(std::uint64_t cell, double ipc_marker)
+{
+    runner::JournalJobDone job = jobFor(cell);
+    job.rows[0].ipc = ipc_marker;
+    return job;
+}
+
+runner::JournalCellFailed
+failedRecord(std::uint64_t cell)
+{
+    runner::JournalCellFailed failed;
+    failed.jobIndex = cell;
+    failed.cell = fleet_property::failureFor(cell);
+    return failed;
+}
+
+TEST(Merge, FirstCommittedWinsAndSuccessOutranksFailure)
+{
+    const std::string dir = freshDir("merge_dedup");
+    // Lease 1 committed cell 0, quarantined cell 1, committed cell 2.
+    // Lease 2 (the re-run) re-committed cells 1 and 2.
+    writeJournal(dir, 1, plan3(),
+                 {markedJob(0, 1.5), markedJob(2, 3.5)},
+                 {failedRecord(1)});
+    writeJournal(dir, 2, plan3(),
+                 {markedJob(1, 2.5), markedJob(2, 9.75)});
+
+    fleet::MergeOptions options;
+    options.plan = plan3();
+    options.inputs = {
+        {1, fleet::leaseJournalPath(dir, 1)},
+        {2, fleet::leaseJournalPath(dir, 2)},
+    };
+    std::string merged;
+    const fleet::MergeStats stats =
+        fleet::mergeJournalsToString(options, merged);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.mergedCells, 3u);
+    EXPECT_EQ(stats.failedCells, 0u);
+    // Two losers: lease 1's quarantine of cell 1 (outranked by lease
+    // 2's success) and lease 2's duplicate of cell 2.
+    EXPECT_EQ(stats.duplicatesDiscarded, 2u);
+    EXPECT_NE(merged.find("1.5"), std::string::npos);
+    EXPECT_NE(merged.find("2.5"), std::string::npos);
+    EXPECT_NE(merged.find("3.5"), std::string::npos);
+    EXPECT_EQ(merged.find("9.75"), std::string::npos)
+        << "lease 2's duplicate of cell 2 must lose to lease 1's "
+           "first-committed record";
+    EXPECT_EQ(merged.find("failed_cells"), std::string::npos);
+}
+
+TEST(Merge, QuarantinedEverywhereSurfacesInFailedCells)
+{
+    const std::string dir = freshDir("merge_failed");
+    writeJournal(dir, 1, plan3(),
+                 {markedJob(0, 1.5), markedJob(2, 3.5)},
+                 {failedRecord(1)});
+
+    fleet::MergeOptions options;
+    options.plan = plan3();
+    options.inputs = {{1, fleet::leaseJournalPath(dir, 1)}};
+    std::string merged;
+    const fleet::MergeStats stats =
+        fleet::mergeJournalsToString(options, merged);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.mergedCells, 2u);
+    EXPECT_EQ(stats.failedCells, 1u);
+    EXPECT_NE(merged.find("\"failed_cells\""), std::string::npos);
+    EXPECT_NE(merged.find("synthetic failure in cell 1"),
+              std::string::npos);
+}
+
+TEST(Merge, StreamsWithBoundedRowsHeld)
+{
+    const std::string dir = freshDir("merge_streaming");
+    runner::JournalPlan plan;
+    plan.itemCount = 64;
+    plan.gridHash = 0x64ull;
+    plan.maxInstrs = 4000;
+    std::vector<runner::JournalJobDone> jobs;
+    for (std::uint64_t cell = 0; cell < plan.itemCount; ++cell)
+        jobs.push_back(jobFor(cell));
+    writeJournal(dir, 1, plan, jobs);
+
+    fleet::MergeOptions options;
+    options.plan = plan;
+    options.inputs = {{1, fleet::leaseJournalPath(dir, 1)}};
+    std::string merged;
+    const fleet::MergeStats stats =
+        fleet::mergeJournalsToString(options, merged);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.mergedCells, 64u);
+    // One row per cell: streaming emission must never materialize
+    // more than one cell's rows at a time, however many cells merge.
+    EXPECT_EQ(stats.peakRowsHeld, 1u);
+}
+
+TEST(Merge, FailsOnUncoveredCellOrForeignPlan)
+{
+    const std::string dir = freshDir("merge_errors");
+    writeJournal(dir, 1, plan3(), {markedJob(0, 1.5)});
+
+    fleet::MergeOptions options;
+    options.plan = plan3();
+    options.inputs = {{1, fleet::leaseJournalPath(dir, 1)}};
+    std::string merged;
+    fleet::MergeStats stats =
+        fleet::mergeJournalsToString(options, merged);
+    EXPECT_FALSE(stats.ok);
+    EXPECT_NE(stats.error.find("no journal covers cell"),
+              std::string::npos)
+        << stats.error;
+
+    options.plan.gridHash ^= 1;
+    stats = fleet::mergeJournalsToString(options, merged);
+    EXPECT_FALSE(stats.ok);
+    EXPECT_NE(stats.error.find("different sweep plan"),
+              std::string::npos)
+        << stats.error;
+}
+
+// ---------------------------------------------------------------------
+// Full fleet: kill mid-range, merge, byte-identity
+// ---------------------------------------------------------------------
+
+TEST(Fleet, KillMidRangeMergeMatchesSingleProcessByteForByte)
+{
+    // References at two worker counts: the merged fleet document must
+    // byte-equal both (they already equal each other by the runner's
+    // determinism contract).
+    std::string reference;
+    runner::SweepMeta reference_meta;
+    for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        runner::SweepOptions options;
+        options.jobs = jobs;
+        auto sweep = makeFleetSweep(options);
+        const auto report = sweep.run();
+        ASSERT_TRUE(report.ok());
+        const std::string prefix =
+            deterministicPrefix(report.store.toJson(report.meta));
+        ASSERT_FALSE(prefix.empty());
+        if (reference.empty()) {
+            reference = prefix;
+            reference_meta = report.meta;
+        } else {
+            ASSERT_EQ(prefix, reference);
+        }
+    }
+
+    const std::string dir = freshDir("fleet_kill");
+    auto planner = makeFleetSweep({});
+    const runner::JournalPlan plan = planner.plan();
+
+    fleet::FleetOptions options;
+    options.leaseDir = dir;
+    options.workers = 2;
+    options.leases = 3; // ranges [0,2) [2,4) [4,6)
+    options.leaseTtlMs = 30000;
+    options.outputPath = dir + "/merged.json";
+
+    // Every generation-0 worker dies mid-range: the abort sites sit
+    // on the second cell of each lease, so one cell is journaled and
+    // the process _Exit()s — a real death, no unwinding — on the
+    // next. Re-granted (generation 1) leases run fault-free.
+    const auto spawn = [&](const fleet::LeaseGrant &grant) -> pid_t {
+        std::fflush(nullptr);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            runner::FaultPlan faults;
+            runner::SweepOptions worker_options;
+            worker_options.jobs = 1;
+            worker_options.progress = false;
+            if (grant.generation == 0) {
+                runner::FaultPlan::parse("abort@1,abort@3,abort@5",
+                                         faults);
+                worker_options.faultPlan = &faults;
+            }
+            auto sweep = makeFleetSweep({});
+            fleet::WorkerOptions lease;
+            lease.leaseDir = dir;
+            lease.leaseId = grant.leaseId;
+            std::_Exit(fleet::runFleetWorker(sweep, worker_options,
+                                             lease));
+        }
+        return pid;
+    };
+
+    fleet::FleetCoordinator coordinator(plan, options, spawn);
+    runner::SweepMeta meta;
+    meta.generator = reference_meta.generator;
+    meta.maxInstrs = reference_meta.maxInstrs;
+    const fleet::FleetReport report = coordinator.run(meta);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.leasesGranted, 6u);
+    EXPECT_EQ(report.leasesExpired, 3u);
+    EXPECT_EQ(report.leasesCompleted, 3u);
+    ASSERT_TRUE(report.merge.ok) << report.merge.error;
+    EXPECT_EQ(report.merge.mergedCells, 6u);
+    EXPECT_EQ(report.merge.failedCells, 0u);
+
+    std::string merged;
+    ASSERT_TRUE(readFileTo(options.outputPath, merged));
+    EXPECT_EQ(deterministicPrefix(merged), reference)
+        << "fleet merge diverged from the single-process document";
+
+    const auto ledger =
+        fleet::LeaseLedger::load(fleet::ledgerPath(dir));
+    ASSERT_TRUE(ledger.valid) << ledger.error;
+    EXPECT_TRUE(ledger.consistent) << ledger.inconsistency;
+    EXPECT_EQ(ledger.expired.size(), 3u);
+    std::size_t successors = 0;
+    for (const fleet::LeaseGrant &grant : ledger.grants) {
+        if (grant.parentLease != fleet::kNoParentLease) {
+            ++successors;
+            EXPECT_EQ(grant.generation, 1u);
+        }
+    }
+    EXPECT_EQ(successors, 3u)
+        << "each expired lease re-granted exactly once";
+}
+
+TEST(Fleet, CoordinatorResumesAfterItsOwnDeath)
+{
+    const std::string dir = freshDir("fleet_resume");
+    auto planner = makeFleetSweep({});
+    const runner::JournalPlan plan = planner.plan();
+
+    // A killed coordinator's leftovers: one outstanding grant for the
+    // whole grid, no journal (the worker never got to a cell).
+    {
+        fleet::LeaseLedger ledger;
+        ASSERT_TRUE(ledger.create(fleet::ledgerPath(dir), plan));
+        ASSERT_TRUE(ledger.appendGrant(grantOf(1, 0, 6)));
+    }
+
+    // Reference for byte-identity after the recovery.
+    auto baseline_sweep = makeFleetSweep({});
+    const auto baseline = baseline_sweep.run();
+    ASSERT_TRUE(baseline.ok());
+    const std::string reference = deterministicPrefix(
+        baseline.store.toJson(baseline.meta));
+
+    fleet::FleetOptions options;
+    options.leaseDir = dir;
+    options.workers = 2;
+    options.leaseTtlMs = 30000;
+    options.outputPath = dir + "/merged.json";
+    const auto spawn = [&](const fleet::LeaseGrant &grant) -> pid_t {
+        std::fflush(nullptr);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            auto sweep = makeFleetSweep({});
+            runner::SweepOptions worker_options;
+            worker_options.jobs = 1;
+            worker_options.progress = false;
+            fleet::WorkerOptions lease;
+            lease.leaseDir = dir;
+            lease.leaseId = grant.leaseId;
+            std::_Exit(fleet::runFleetWorker(sweep, worker_options,
+                                             lease));
+        }
+        return pid;
+    };
+
+    fleet::FleetCoordinator coordinator(plan, options, spawn);
+    runner::SweepMeta meta;
+    meta.generator = baseline.meta.generator;
+    meta.maxInstrs = baseline.meta.maxInstrs;
+    const fleet::FleetReport report = coordinator.run(meta);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.leasesExpired, 1u)
+        << "the orphaned lease must be expired on resume";
+    ASSERT_TRUE(report.merge.ok) << report.merge.error;
+
+    std::string merged;
+    ASSERT_TRUE(readFileTo(options.outputPath, merged));
+    EXPECT_EQ(deterministicPrefix(merged), reference);
+
+    const auto ledger =
+        fleet::LeaseLedger::load(fleet::ledgerPath(dir));
+    ASSERT_TRUE(ledger.valid);
+    EXPECT_TRUE(ledger.consistent) << ledger.inconsistency;
+}
+
+// ---------------------------------------------------------------------
+// Property harness smoke (the 200-cell battery is tier2)
+// ---------------------------------------------------------------------
+
+TEST(FleetProperty, SmallRandomFleetsMergeByteIdentical)
+{
+    fleet_property::runFleetPropertyRounds(24, 3, 0xD01ull,
+                                           "fleet_prop_smoke");
+}
+
+} // namespace

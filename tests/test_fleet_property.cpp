@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tier-2 fleet property battery: 200-cell synthetic grids, seeded
+ * random partitions (1–16 leases), seeded random kill schedules
+ * (forked journal writers that _Exit mid-range), all through the real
+ * coordinator/ledger/merger. Whatever the schedule, the merged
+ * document's deterministic prefix must byte-equal the single-process
+ * ResultStore reference and the lease ledger must replay consistent,
+ * with every expired lease re-granted exactly once.
+ *
+ * test_fleet.cpp runs the same harness at 24 cells as a tier-1 smoke;
+ * this battery is the long-haul version the nightly workflow runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet_property.hpp"
+
+TEST(FleetProperty, RandomPartitionsAndKillSchedules200Cells)
+{
+    fleet_property::runFleetPropertyRounds(200, 10, 0xF1EE7ull,
+                                           "fleet_prop_200");
+}
+
+TEST(FleetProperty, SingleLeaseWholeGridSurvivesKills)
+{
+    // Degenerate partition: one lease covering all 200 cells, killed
+    // up to twice — the generation chain (not parallelism) must carry
+    // the sweep to completion.
+    std::mt19937_64 rng(0xCAFEull);
+    for (unsigned round = 0; round < 3; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const std::string dir = fleet_property::freshDir(
+            "fleet_prop_single_r" + std::to_string(round));
+        fleet_property::runFleetPropertyRound(200, rng, dir,
+                                              /*force_leases=*/1);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Kill-and-merge end-to-end check for fleet execution.
+ *
+ * Drives the real dolsim binary through sharded-fleet scenarios on a
+ * 60-cell grid (3 workloads × 2 prefetchers × 10 seed variants) and
+ * asserts the merged dol-sweep-v1 document is byte-identical
+ * (deterministic portion) to uninterrupted single-process runs:
+ *
+ *   1. references: plain sweeps at --jobs 1 and --jobs 4 must agree
+ *      with each other (the runner's own determinism contract)
+ *   2. clean fleet: --fleet with 3 workers merges to the same bytes
+ *   3. worker loss: --fault-plan abort@7 kills whichever worker owns
+ *      cell 7 mid-range (std::_Exit — SIGKILL semantics); the
+ *      coordinator must expire that lease, re-grant the remainder
+ *      exactly once, and still merge to the reference bytes
+ *
+ * The DOLLEAS1 ledger is then replayed to assert the lifecycle:
+ * every lease settled, ≥1 expiry in the fault scenario, and each
+ * expired lease re-covered by exactly one successor grant.
+ *
+ * Usage: dol_fleet_check <path-to-dolsim> <scratch-dir>
+ * Exit 0 when every scenario passes. Run by the tier-1 fleet_smoke
+ * test and the CI fleet smoke job.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/ledger.hpp"
+
+namespace
+{
+
+int g_failures = 0;
+
+void
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+    ++g_failures;
+}
+
+struct RunResult
+{
+    bool ran = false;
+    bool exited = false;
+    int code = -1;
+    int signal = 0;
+};
+
+RunResult
+run(const std::string &exe, const std::vector<std::string> &args,
+    const std::string &log_path)
+{
+    const pid_t pid = fork();
+    if (pid == 0) {
+        std::FILE *log = std::fopen(log_path.c_str(), "ab");
+        if (log) {
+            dup2(fileno(log), 1);
+            dup2(fileno(log), 2);
+        }
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(exe.c_str()));
+        for (const std::string &arg : args)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        execv(exe.c_str(), argv.data());
+        _exit(127);
+    }
+    RunResult result;
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid)
+        return result;
+    result.ran = true;
+    if (WIFEXITED(status)) {
+        result.exited = true;
+        result.code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        result.signal = WTERMSIG(status);
+    }
+    return result;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    out.clear();
+    char buffer[1 << 14];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        out.append(buffer, got);
+    std::fclose(file);
+    return true;
+}
+
+/** Every byte before the wall-clock-dependent "timing" section. */
+std::string
+deterministicPrefix(const std::string &document)
+{
+    const std::size_t pos = document.find("\"timing\"");
+    return pos == std::string::npos ? std::string()
+                                    : document.substr(0, pos);
+}
+
+/** The shared 60-cell grid + per-scenario extra flags. */
+std::vector<std::string>
+gridArgs(const std::string &json_path,
+         const std::vector<std::string> &extra)
+{
+    std::vector<std::string> args = {
+        "--workload",      "libquantum.syn,mcf.syn,omnetpp.syn",
+        "--prefetcher",    "TPC,SPP",
+        "--instrs",        "5000",
+        "--seed-variants", "10",
+        "--quiet",         "--json",
+        json_path};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+}
+
+std::string
+loadPrefix(const std::string &scenario, const std::string &json_path)
+{
+    std::string document;
+    if (!readFile(json_path, document)) {
+        fail(scenario + ": no document at " + json_path);
+        return {};
+    }
+    const std::string prefix = deterministicPrefix(document);
+    if (prefix.empty())
+        fail(scenario + ": no \"timing\" marker in " + json_path);
+    return prefix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(
+            stderr,
+            "usage: dol_fleet_check <path-to-dolsim> <scratch-dir>\n");
+        return 2;
+    }
+    const std::string dolsim = argv[1];
+    const std::string dir = argv[2];
+    mkdir(dir.c_str(), 0755);
+    const std::string log = dir + "/dolsim.log";
+
+    // 1. Single-process references at two worker counts: the fleet's
+    // correctness target, and a re-assertion of the runner's own
+    // --jobs determinism on this grid.
+    std::string reference;
+    for (const std::string jobs : {"1", "4"}) {
+        const std::string tag = "reference[jobs=" + jobs + "]";
+        const std::string json = dir + "/ref" + jobs + ".json";
+        const RunResult result =
+            run(dolsim, gridArgs(json, {"--jobs", jobs}), log);
+        if (!result.exited || result.code != 0) {
+            fail(tag + ": sweep did not exit 0");
+            return 1;
+        }
+        const std::string prefix = loadPrefix(tag, json);
+        if (prefix.empty())
+            return 1;
+        if (reference.empty())
+            reference = prefix;
+        else if (prefix != reference)
+            fail("references at --jobs 1 and --jobs 4 disagree");
+    }
+
+    // 2. Clean fleet run: 3 workers, no faults.
+    {
+        const std::string tag = "fleet-clean";
+        const std::string json = dir + "/fleet_clean.json";
+        const std::string leases = dir + "/clean.leases";
+        const RunResult result =
+            run(dolsim,
+                gridArgs(json, {"--fleet", "--fleet-workers", "3",
+                                "--lease-dir", leases}),
+                log);
+        if (!result.exited || result.code != 0)
+            fail(tag + ": fleet run did not exit 0");
+        else if (loadPrefix(tag, json) != reference)
+            fail(tag + ": merged document differs from the "
+                       "single-process reference");
+        const auto ledger = dol::fleet::LeaseLedger::load(
+            dol::fleet::ledgerPath(leases));
+        if (!ledger.valid || !ledger.consistent)
+            fail(tag + ": ledger did not replay cleanly");
+        else if (!ledger.expired.empty())
+            fail(tag + ": clean fleet should expire no leases");
+        else if (ledger.completed.size() != ledger.grants.size())
+            fail(tag + ": every granted lease should complete");
+    }
+
+    // 3. Worker loss: the worker owning cell 7 aborts mid-range
+    // (SIGKILL semantics); its lease must expire and be re-granted
+    // exactly once, and the merge must still hit the reference bytes.
+    {
+        const std::string tag = "fleet-abort";
+        const std::string json = dir + "/fleet_abort.json";
+        const std::string leases = dir + "/abort.leases";
+        const RunResult result =
+            run(dolsim,
+                gridArgs(json, {"--fleet", "--fleet-workers", "3",
+                                "--lease-dir", leases, "--lease-ttl",
+                                "30000", "--fault-plan", "abort@7"}),
+                log);
+        if (!result.exited || result.code != 0)
+            fail(tag + ": fleet run did not exit 0");
+        else if (loadPrefix(tag, json) != reference)
+            fail(tag + ": merged document differs from the "
+                       "single-process reference after a worker "
+                       "loss");
+        const auto ledger = dol::fleet::LeaseLedger::load(
+            dol::fleet::ledgerPath(leases));
+        if (!ledger.valid || !ledger.consistent) {
+            fail(tag + ": ledger did not replay cleanly");
+        } else {
+            if (ledger.expired.empty())
+                fail(tag + ": the aborted worker's lease never "
+                           "expired");
+            std::size_t successors = 0;
+            for (const dol::fleet::LeaseGrant &grant : ledger.grants) {
+                if (grant.parentLease != dol::fleet::kNoParentLease)
+                    ++successors;
+            }
+            if (successors != ledger.expired.size())
+                fail(tag + ": every expired lease must be re-granted "
+                           "exactly once");
+        }
+    }
+
+    if (g_failures) {
+        std::fprintf(stderr,
+                     "dol_fleet_check: %d scenario check(s) failed "
+                     "(dolsim output: %s)\n",
+                     g_failures, log.c_str());
+        return 1;
+    }
+    std::printf(
+        "dol_fleet_check: all kill-and-merge scenarios passed\n");
+    return 0;
+}
