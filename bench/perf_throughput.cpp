@@ -77,17 +77,24 @@ now()
         .count();
 }
 
-/** One timed end-to-end run of a cell; returns wall seconds. */
+/**
+ * One timed end-to-end run of a cell; returns wall seconds.
+ * The first @p warmup repetitions are discarded: they fault in code
+ * pages, warm the branch predictors, and let the allocator reach
+ * steady state, so the recorded best-of is not polluted by one cold
+ * outlier (noise hygiene, PR 9).
+ */
 CellResult
 runCell(const SimConfig &config, const WorkloadSpec &spec,
-        const std::string &prefetcher_name, unsigned reps)
+        const std::string &prefetcher_name, unsigned reps,
+        unsigned warmup)
 {
     CellResult result;
     result.workload = spec.name;
     result.prefetcher = prefetcher_name;
     result.wallSeconds = -1.0;
 
-    for (unsigned rep = 0; rep < reps; ++rep) {
+    for (unsigned rep = 0; rep < warmup + reps; ++rep) {
         MemoryImage image;
         auto kernel = spec.factory(image);
         auto prefetcher =
@@ -99,6 +106,8 @@ runCell(const SimConfig &config, const WorkloadSpec &spec,
         const double start = now();
         sim.run();
         const double elapsed = now() - start;
+        if (rep < warmup)
+            continue;
 
         const CoreStats &stats = sim.core().stats();
         result.instructions = sim.instructions();
@@ -117,18 +126,20 @@ runCell(const SimConfig &config, const WorkloadSpec &spec,
  */
 CellResult
 runMixCell(const SimConfig &config, const ContentionMix &mix,
-           unsigned reps)
+           unsigned reps, unsigned warmup)
 {
     CellResult result;
     result.workload = "mix:" + mix.name;
     result.prefetcher = mixPrefetcherLabel(mix);
     result.wallSeconds = -1.0;
 
-    for (unsigned rep = 0; rep < reps; ++rep) {
+    for (unsigned rep = 0; rep < warmup + reps; ++rep) {
         MulticoreSimulator sim(config, mix.cores);
         const double start = now();
         sim.run();
         const double elapsed = now() - start;
+        if (rep < warmup)
+            continue;
 
         result.instructions = 0;
         result.accesses = 0;
@@ -148,10 +159,11 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--cells N] [--reps N] [--instrs N] [--jobs N]\n"
-        "          [--json FILE] [--quiet]\n"
+        "usage: %s [--cells N] [--reps N] [--warmup N] [--instrs N]\n"
+        "          [--jobs N] [--json FILE] [--quiet]\n"
         "  --cells N   limit the grid to the first N cells\n"
         "  --reps N    repetitions per cell, best-of (default 3)\n"
+        "  --warmup N  discarded warmup reps per cell (default 1)\n"
         "  --instrs N  instruction budget per run (default 400000)\n"
         "  --jobs N    worker count of the multi-job pass (default 4;\n"
         "              0 disables the multi-job pass)\n"
@@ -166,6 +178,7 @@ main(int argc, char **argv)
 {
     std::size_t max_cells = SIZE_MAX;
     unsigned reps = 3;
+    unsigned warmup = 1;
     std::uint64_t max_instrs = 400000;
     unsigned jobs = 4;
     std::string json_path = "BENCH_throughput.json";
@@ -177,6 +190,9 @@ main(int argc, char **argv)
             max_cells = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--reps" && i + 1 < argc) {
             reps = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--warmup" && i + 1 < argc) {
+            warmup = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--instrs" && i + 1 < argc) {
             max_instrs = std::strtoull(argv[++i], nullptr, 10);
@@ -217,7 +233,8 @@ main(int argc, char **argv)
             if (cells.size() >= max_cells)
                 break;
             const WorkloadSpec &spec = findWorkload(workload);
-            cells.push_back(runCell(config, spec, prefetcher, reps));
+            cells.push_back(
+                runCell(config, spec, prefetcher, reps, warmup));
             if (!quiet) {
                 const CellResult &cell = cells.back();
                 std::fprintf(stderr,
@@ -235,7 +252,7 @@ main(int argc, char **argv)
     for (const ContentionMix &mix : contentionMixes()) {
         if (cells.size() >= max_cells)
             break;
-        cells.push_back(runMixCell(config, mix, reps));
+        cells.push_back(runMixCell(config, mix, reps, warmup));
         if (!quiet) {
             const CellResult &cell = cells.back();
             std::fprintf(stderr,
@@ -286,6 +303,7 @@ main(int argc, char **argv)
     json.key("config").beginObject();
     json.field("max_instrs", max_instrs);
     json.field("reps", reps);
+    json.field("warmup", warmup);
     json.endObject();
 
     json.key("results").beginArray();

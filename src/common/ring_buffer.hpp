@@ -13,9 +13,11 @@
 #ifndef DOL_COMMON_RING_BUFFER_HPP
 #define DOL_COMMON_RING_BUFFER_HPP
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace dol
@@ -66,6 +68,33 @@ class RingBuffer
         _slots[_head] = T{};
         _head = (_head + 1) & (_slots.size() - 1);
         --_count;
+    }
+
+    /**
+     * Pop up to @p max elements into @p out in FIFO order.
+     *
+     * Bulk drain for the batched step pipeline (PR 9): two copy_n
+     * spans (head to end of the backing array, then the wrap) replace
+     * per-element front()/pop_front() round trips.
+     *
+     * @return elements copied (min(max, size())).
+     */
+    std::size_t
+    popBulk(T *out, std::size_t max)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "popBulk skips per-slot destruction");
+        const std::size_t want = std::min(max, _count);
+        const std::size_t mask = _slots.size() - 1;
+        const std::size_t first =
+            std::min(want, _slots.size() - _head);
+        std::copy_n(_slots.data() + _head, first, out);
+        std::copy_n(_slots.data(), want - first, out + first);
+        _head = (_head + want) & mask;
+        _count -= want;
+        if (_count == 0)
+            _head = 0;
+        return want;
     }
 
     void

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Vector tag scans for the cache SoA mirrors (PR 9).
+ *
+ * Cache::find() and the insert() victim scan probe dense arrays of
+ * 64-bit tags (`_tags`) and LRU stamps (`_stamps`) that PR 4 laid out
+ * exactly so a set fits in one or two cache lines. This header turns
+ * the per-way scalar loops into data-parallel compares:
+ *
+ *  - AVX2: 4 tags per compare (one op for an L1 set, two for L2,
+ *    four for L3), selected at runtime via __builtin_cpu_supports so
+ *    a binary built without -mavx2 still uses it on capable hosts;
+ *  - SSE2: 2 tags per compare (64-bit equality composed from two
+ *    32-bit compares — baseline x86-64 has no cmpeq_epi64);
+ *  - scalar: the reference implementation, always compiled, used on
+ *    non-x86 hosts and whenever DOL_SIMD=scalar forces it.
+ *
+ * Every vector routine is differentially tested against the scalar
+ * one (tests/test_simd.cpp), and CI runs the cache suites once with
+ * DOL_SIMD=scalar so both paths stay covered on any host.
+ *
+ * The selected level resolves once per process: the environment
+ * variable DOL_SIMD (scalar|sse2|avx2, clamped to host support) wins,
+ * else the best supported level. Tests may override in-process with
+ * overrideLevel().
+ */
+
+#ifndef DOL_COMMON_SIMD_HPP
+#define DOL_COMMON_SIMD_HPP
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+#define DOL_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dol::simd
+{
+
+enum Level : int
+{
+    kScalar = 0,
+    kSse2 = 1,
+    kAvx2 = 2,
+};
+
+/**
+ * Index of the first element of tags[0..n) equal to @p needle, or -1.
+ * The "first match" contract matters: MSHR files can hold a stale and
+ * a live entry for the same line, and callers resolve ties by index.
+ */
+inline int
+findTagScalar(const std::uint64_t *tags, unsigned n,
+              std::uint64_t needle)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        if (tags[i] == needle)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/**
+ * Victim way for an insertion: the first way whose tag equals
+ * @p invalid (a free way), else the way with the smallest stamp
+ * (earliest index on ties) — the exact order of the scalar scan the
+ * cache used before.
+ */
+inline unsigned
+victimWayScalar(const std::uint64_t *tags, const std::uint64_t *stamps,
+                unsigned n, std::uint64_t invalid)
+{
+    unsigned victim = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (tags[i] == invalid)
+            return i;
+        if (stamps[i] < stamps[victim])
+            victim = i;
+    }
+    return victim;
+}
+
+#ifdef DOL_SIMD_X86
+
+inline int
+findTagSse2(const std::uint64_t *tags, unsigned n, std::uint64_t needle)
+{
+    const __m128i want =
+        _mm_set1_epi64x(static_cast<long long>(needle));
+    unsigned i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tags + i));
+        // SSE2 has no 64-bit compare: a qword is equal iff both of
+        // its dwords compare equal.
+        const __m128i eq32 = _mm_cmpeq_epi32(v, want);
+        const __m128i eq64 = _mm_and_si128(
+            eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+        const int mask = _mm_movemask_epi8(eq64);
+        if (mask)
+            return static_cast<int>(i + ((mask & 0xFF) ? 0 : 1));
+    }
+    for (; i < n; ++i) {
+        if (tags[i] == needle)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+__attribute__((target("avx2"))) inline int
+findTagAvx2(const std::uint64_t *tags, unsigned n, std::uint64_t needle)
+{
+    const __m256i want =
+        _mm256_set1_epi64x(static_cast<long long>(needle));
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + i));
+        const __m256i eq = _mm256_cmpeq_epi64(v, want);
+        const int mask =
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+        if (mask)
+            return static_cast<int>(
+                i + static_cast<unsigned>(__builtin_ctz(
+                        static_cast<unsigned>(mask))));
+    }
+    for (; i < n; ++i) {
+        if (tags[i] == needle)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+#endif // DOL_SIMD_X86
+
+namespace detail
+{
+
+inline int
+detectLevel()
+{
+    int best = kScalar;
+#ifdef DOL_SIMD_X86
+    best = kSse2; // baseline x86-64
+    if (__builtin_cpu_supports("avx2"))
+        best = kAvx2;
+#endif
+    if (const char *env = std::getenv("DOL_SIMD")) {
+        int wanted = best;
+        if (std::strcmp(env, "scalar") == 0)
+            wanted = kScalar;
+        else if (std::strcmp(env, "sse2") == 0)
+            wanted = kSse2;
+        else if (std::strcmp(env, "avx2") == 0)
+            wanted = kAvx2;
+        best = wanted < best ? wanted : best; // clamp to host support
+    }
+    return best;
+}
+
+/** Namespace-scope inline variable, NOT a function-local static: the
+ *  hot scans read this on every call and must not pay the thread-safe
+ *  static-init guard (dynamic init runs before main; getenv is safe
+ *  there). */
+inline int g_level = detectLevel();
+
+} // namespace detail
+
+/** The active implementation level (resolved once, overridable). */
+inline int
+level()
+{
+    return detail::g_level;
+}
+
+/** Test hook: pin the level; callers must not exceed host support. */
+inline void
+overrideLevel(int level)
+{
+    detail::g_level = level;
+}
+
+inline const char *
+levelName(int level)
+{
+    switch (level) {
+      case kAvx2: return "avx2";
+      case kSse2: return "sse2";
+      default: return "scalar";
+    }
+}
+
+/** Dispatching tag search; see findTagScalar for the contract. */
+inline int
+findTag(const std::uint64_t *tags, unsigned n, std::uint64_t needle)
+{
+#ifdef DOL_SIMD_X86
+    // The AVX2 kernel cannot inline into baseline callers (it carries
+    // a target attribute), so its call overhead only amortises on
+    // wide scans (L2/L3 sets, MSHR files). Narrow sets take the SSE2
+    // path, which inlines fully right here.
+    const int lvl = level();
+    if (lvl >= kAvx2 && n >= 8)
+        return findTagAvx2(tags, n, needle);
+    if (lvl >= kSse2)
+        return findTagSse2(tags, n, needle);
+#endif
+    return findTagScalar(tags, n, needle);
+}
+
+/** Dispatching victim scan; see victimWayScalar for the contract. */
+inline unsigned
+victimWay(const std::uint64_t *tags, const std::uint64_t *stamps,
+          unsigned n, std::uint64_t invalid)
+{
+    // The free-way search vectorises (it is a tag match against the
+    // invalid marker); the stamp argmin stays scalar — for 4/8/16
+    // ways the compare chain is short and the tie-break (earliest
+    // index) must match the reference exactly.
+    const int free_way = findTag(tags, n, invalid);
+    if (free_way >= 0)
+        return static_cast<unsigned>(free_way);
+    unsigned victim = 0;
+    for (unsigned i = 1; i < n; ++i) {
+        if (stamps[i] < stamps[victim])
+            victim = i;
+    }
+    return victim;
+}
+
+} // namespace dol::simd
+
+#endif // DOL_COMMON_SIMD_HPP

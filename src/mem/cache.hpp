@@ -146,6 +146,8 @@ class Cache
 
     Params _params;
     std::uint32_t _numSets;
+    /** Event-driven fast path enabled (hotpath::fastPath() at ctor). */
+    bool _fastPath;
     std::vector<Line> _lines;
     /** Tag-only mirror of _lines (kNoAddr = invalid): find() scans 8
      *  bytes per way instead of the 40-byte Line, so a set fits in one
@@ -156,6 +158,12 @@ class Cache
      *  victim scan reads only _tags + _stamps (two dense arrays). */
     std::vector<std::uint64_t> _stamps;
     std::vector<MshrEntry> _mshrs;
+    /** Latest completion ever registered in the MSHR file: once the
+     *  clock passes it nothing is in flight, and every MSHR query
+     *  short-circuits without scanning (the event-driven fast path).
+     *  Monotone upper bound — stealPrefetchMshr may clear the entry
+     *  that set it, which only makes the fast path conservative. */
+    Cycle _mshrMaxCompletion = 0;
     std::uint64_t _stampCounter = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "common/hotpath.hpp"
+
 namespace dol
 {
 
@@ -36,14 +38,15 @@ arbitrationFromName(const std::string &name, ArbitrationPolicy &out)
 }
 
 Dram::Dram(const DramParams &params)
-    : _params(params), _channels(params.channels),
-      _rng(params.rngSeed)
+    : _params(params), _fastPath(hotpath::fastPath()),
+      _channels(params.channels), _rng(params.rngSeed)
 {
     for (Channel &channel : _channels) {
         channel.banks.resize(params.ranksPerChannel *
                              params.banksPerRank);
         channel.queue.reserve(params.queueCapacity);
     }
+    _dropScratch.reserve(params.queueCapacity);
 }
 
 unsigned
@@ -75,6 +78,14 @@ Dram::rowOf(Addr line_addr) const
 std::size_t
 Dram::pruneQueue(Channel &channel, Cycle now)
 {
+    // Quiescence fast path: every queued entry completes no later
+    // than liveMax, so once the clock passes it the filter below
+    // would remove everything — clear in O(1) instead. Exact: the
+    // surviving set is identical (empty) either way.
+    if (_fastPath && now >= channel.liveMax) {
+        channel.queue.clear();
+        return 0;
+    }
     std::erase_if(channel.queue, [now](const QueueEntry &entry) {
         return entry.completion <= now;
     });
@@ -85,8 +96,10 @@ bool
 Dram::makeRoom(Channel &channel, Cycle now, bool incoming_is_prefetch,
                std::uint8_t incoming_priority)
 {
-    // Collect queued prefetches as drop candidates.
-    std::vector<std::size_t> candidates;
+    // Collect queued prefetches as drop candidates (member scratch:
+    // this runs on every queue-full event and must not allocate).
+    std::vector<std::size_t> &candidates = _dropScratch;
+    candidates.clear();
     for (std::size_t i = 0; i < channel.queue.size(); ++i) {
         if (channel.queue[i].isPrefetch)
             candidates.push_back(i);
@@ -289,6 +302,8 @@ Dram::access(Addr line_addr, Cycle now, bool is_write, bool is_prefetch,
     if (channel.queue.size() < _params.queueCapacity) {
         channel.queue.push_back({lineAddr(line_addr), completion,
                                  is_prefetch, priority, core});
+        if (completion > channel.liveMax)
+            channel.liveMax = completion;
     }
 
     return {completion, false};

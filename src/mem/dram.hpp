@@ -211,6 +211,10 @@ class Dram
         std::vector<Bank> banks;
         Cycle busReadyAt = 0;
         std::vector<QueueEntry> queue;
+        /** Latest completion of any queued entry: once the clock
+         *  passes it the whole queue is dead and pruneQueue clears it
+         *  in O(1) instead of filtering (event-driven fast path). */
+        Cycle liveMax = 0;
     };
 
     unsigned channelOf(Addr line_addr) const;
@@ -241,8 +245,12 @@ class Dram
     Cycle applyBandwidthWindow(Cycle now);
 
     DramParams _params;
+    /** Event-driven fast path enabled (hotpath::fastPath() at ctor). */
+    bool _fastPath;
     std::vector<Channel> _channels;
     DramStats _stats;
+    /** Scratch for makeRoom's drop-candidate list (no per-call heap). */
+    std::vector<std::size_t> _dropScratch;
     std::vector<std::uint64_t> _coreLines;
     std::vector<std::uint64_t> _corePrefetchLines;
     /** Monotonic controller clock for occupancy decisions. */

@@ -130,14 +130,29 @@ MulticoreSimulator::run()
         if (next == _cores.size())
             break;
 
-        // A small quantum keeps scheduling overhead low.
-        for (unsigned q = 0; q < 64; ++q) {
-            if (_cores[next]->instructions() >= _budgets[next] ||
-                !_cores[next]->step()) {
+        // A small quantum keeps scheduling overhead low. The quantum
+        // runs through the batched pipeline but still executes exactly
+        // the same up-to-64 instructions a per-step loop would, so the
+        // cross-core interleaving (and every contention stat derived
+        // from it) is unchanged.
+        std::uint64_t left =
+            _cores[next]->instructions() >= _budgets[next]
+                ? 0
+                : std::min<std::uint64_t>(
+                      64, _budgets[next] - _cores[next]->instructions());
+        if (left == 0)
+            active[next] = false;
+        while (left > 0) {
+            const std::size_t got = _cores[next]->stepBlock(
+                static_cast<std::size_t>(left));
+            if (got == 0) {
                 active[next] = false;
                 break;
             }
+            left -= got;
         }
+        if (_cores[next]->instructions() >= _budgets[next])
+            active[next] = false;
 
         any_active = false;
         for (std::size_t i = 0; i < _cores.size(); ++i)

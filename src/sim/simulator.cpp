@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "trace/context.hpp"
 #include "trace/counters.hpp"
@@ -43,13 +45,9 @@ Simulator::drainFills()
     }
 }
 
-bool
-Simulator::step()
+void
+Simulator::stepOne(const Instr &instr)
 {
-    Instr instr;
-    if (!_kernel->next(instr))
-        return false;
-
     // mPC uses the RAS as of *before* this instruction's own effect.
     const Pc m_pc = instr.pc ^ _core.ras().top();
 
@@ -80,23 +78,68 @@ Simulator::step()
             if (_accessObserver)
                 _accessObserver(access);
         }
-        drainFills();
+        // Fills drain after *every* instruction, batched loop or not:
+        // deferring to a batch boundary would let P1's chained
+        // prefetches observe later training events than the hardware
+        // ordering allows (DESIGN.md, batched pipeline note).
+        if (!_fills.empty())
+            drainFills();
     }
 
     ++_instrs;
+}
+
+bool
+Simulator::step()
+{
+    Instr instr;
+    if (!_kernel->next(instr))
+        return false;
+    stepOne(instr);
     return true;
+}
+
+std::size_t
+Simulator::stepBlock(std::size_t max)
+{
+    const std::size_t want = std::min(max, kBatchInstrs);
+    const std::size_t got = _kernel->nextBatch(_batch.data(), want);
+    for (std::size_t i = 0; i < got; ++i)
+        stepOne(_batch[i]);
+    return got;
 }
 
 void
 Simulator::run(const CancelToken *cancel)
 {
-    while (_instrs < _config.maxInstrs && step()) {
-        // Poll coarsely: a deadline check costs a clock read, so do
-        // it once per 4096 instructions, not per step.
-        if (cancel && (_instrs & 0xFFF) == 0 && cancel->cancelled())
+    if (_referenceLoop) {
+        // Legacy one-at-a-time loop, kept for A/B equivalence tests.
+        while (_instrs < _config.maxInstrs && step()) {
+            // Poll coarsely: a deadline check costs a clock read, so
+            // do it once per 4096 instructions, not per step.
+            if (cancel && (_instrs & 0xFFF) == 0 && cancel->cancelled())
+                throw CancelledError("simulation cancelled after " +
+                                     std::to_string(_instrs) +
+                                     " instructions");
+        }
+        return;
+    }
+
+    while (_instrs < _config.maxInstrs) {
+        const std::uint64_t budget = _config.maxInstrs - _instrs;
+        const std::size_t got = stepBlock(static_cast<std::size_t>(
+            std::min<std::uint64_t>(budget, kBatchInstrs)));
+        if (got == 0)
+            break;
+        // Same ~4096-instruction poll coarseness as the reference
+        // loop: poll at the first batch boundary past each multiple.
+        if (cancel && (_instrs & ~std::uint64_t{0xFFF}) !=
+                          ((_instrs - got) & ~std::uint64_t{0xFFF}) &&
+            cancel->cancelled()) {
             throw CancelledError("simulation cancelled after " +
                                  std::to_string(_instrs) +
                                  " instructions");
+        }
     }
 }
 

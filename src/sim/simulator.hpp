@@ -7,11 +7,20 @@
  * Prefetch fill events are queued and drained between instructions
  * (never delivered re-entrantly), so a component chaining prefetches
  * off fills (P1) observes the same ordering the hardware would.
+ *
+ * The run loop is batched (PR 9): decode drains the kernel's
+ * already-generated queue in blocks of up to kBatchInstrs into a flat
+ * buffer, then executes the block instruction by instruction. Kernel
+ * generation still happens exactly when the queue is empty — never
+ * ahead of execution — and fills still drain after every instruction,
+ * so the observable event order is identical to the one-at-a-time
+ * loop (setReferenceLoop() keeps that loop alive for A/B tests).
  */
 
 #ifndef DOL_SIM_SIMULATOR_HPP
 #define DOL_SIM_SIMULATOR_HPP
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,6 +79,21 @@ class Simulator
 
     /** Execute one instruction; false when the kernel is done. */
     bool step();
+
+    /**
+     * Execute up to @p max instructions from one decoded batch.
+     * The batch never spans a kernel generate() call (see
+     * Kernel::nextBatch), so event ordering matches step() exactly.
+     *
+     * @return instructions executed; 0 when the kernel is done.
+     */
+    std::size_t stepBlock(std::size_t max);
+
+    /**
+     * Test hook: make run() use the legacy one-instruction-at-a-time
+     * loop instead of the batched pipeline (A/B equivalence tests).
+     */
+    void setReferenceLoop(bool reference) { _referenceLoop = reference; }
 
     const Core &core() const { return _core; }
     MemorySystem &mem() { return _mem; }
@@ -154,7 +178,15 @@ class Simulator
         RingBuffer<FillEvent> *_queue;
     };
 
+    /** Instructions decoded per batch: big enough to amortise the
+     *  loop overhead, small enough that a batch of Instr (32 B each)
+     *  stays resident in L1 while it executes. */
+    static constexpr std::size_t kBatchInstrs = 256;
+
     void drainFills();
+
+    /** Execute one already-decoded instruction (the step() body). */
+    void stepOne(const Instr &instr);
 
     SimConfig _config;
     Kernel *_kernel;
@@ -172,6 +204,9 @@ class Simulator
     std::vector<std::string> _componentNames;
     AccessObserver _accessObserver;
     std::uint64_t _instrs = 0;
+    bool _referenceLoop = false;
+    /** Decode buffer for the batched pipeline. */
+    std::array<Instr, kBatchInstrs> _batch;
 };
 
 } // namespace dol

@@ -54,6 +54,29 @@ class Kernel
         return true;
     }
 
+    /**
+     * Drain up to @p max already-generated instructions into @p out
+     * (the batched decode of PR 9).
+     *
+     * Ordering contract: generate() runs only when the queue is
+     * empty — exactly when the legacy next() loop would have run it.
+     * This matters because kernels mutate the MemoryImage *during*
+     * generation (shuflist relinks nodes as it walks), and P1/PChase
+     * read image values at fill time: generating ahead of execution
+     * would change the values in flight and break trace goldens.
+     *
+     * @return instructions written; 0 means the kernel is exhausted.
+     */
+    std::size_t
+    nextBatch(Instr *out, std::size_t max)
+    {
+        while (_queue.empty()) {
+            if (!generate())
+                return 0;
+        }
+        return _queue.popBulk(out, max);
+    }
+
     /** Restart the trace from the beginning, deterministically. */
     virtual void reset() = 0;
 

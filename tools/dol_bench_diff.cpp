@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Compare two perf_throughput documents (dol-sweep-v1) cell by cell.
+ *
+ * Reads a baseline and a candidate BENCH_throughput.json, matches
+ * cells by (workload, prefetcher), and prints a per-cell ratio table
+ * (candidate / baseline accesses_per_sec; instrs_per_sec for cells
+ * with no accesses), plus the geometric mean and the min/max ratio.
+ *
+ * Exit status encodes a floor check for CI:
+ *   0  every matched cell's ratio >= --floor and the geometric mean
+ *      >= --geomean-floor (both default 0: report only)
+ *   1  at least one cell (or the geomean) regressed below its floor
+ *   2  usage/parse error or no matching cells
+ *
+ * Wall-clock ratios are noisy by nature; the per-cell floor is meant
+ * to catch structural regressions (2x slowdowns), not 5% jitter, so
+ * it stays well below 1.0 — single cells swing 20%+ between healthy
+ * runs on a busy host. The geomean is far more stable, so its floor
+ * can sit much closer to 1.0 and catches broad regressions the
+ * per-cell floor would tolerate.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/json_reader.hpp"
+
+namespace
+{
+
+using dol::runner::JsonValue;
+
+struct Cell
+{
+    std::string workload;
+    std::string prefetcher;
+    double accessesPerSec = 0.0;
+    double instrsPerSec = 0.0;
+
+    /** Throughput metric: accesses/s, or instrs/s for access-free
+     *  cells (a "none" prefetcher cell still retires instructions). */
+    double
+    rate() const
+    {
+        return accessesPerSec > 0.0 ? accessesPerSec : instrsPerSec;
+    }
+};
+
+bool
+loadCells(const std::string &path, std::vector<Cell> &out)
+{
+    JsonValue doc;
+    std::string error;
+    if (!dol::runner::parseJsonFile(path, doc, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return false;
+    }
+    if (doc.stringOr("schema", "") != "dol-sweep-v1") {
+        std::fprintf(stderr, "%s: not a dol-sweep-v1 document\n",
+                     path.c_str());
+        return false;
+    }
+    const JsonValue *results = doc.find("results");
+    if (!results || results->type() != JsonValue::Type::kArray) {
+        std::fprintf(stderr, "%s: missing results array\n",
+                     path.c_str());
+        return false;
+    }
+    for (const JsonValue &row : results->array()) {
+        Cell cell;
+        cell.workload = row.stringOr("workload", "");
+        cell.prefetcher = row.stringOr("prefetcher", "");
+        if (const JsonValue *metrics = row.find("metrics")) {
+            cell.accessesPerSec =
+                metrics->numberOr("accesses_per_sec", 0.0);
+            cell.instrsPerSec =
+                metrics->numberOr("instrs_per_sec", 0.0);
+        }
+        if (!cell.workload.empty())
+            out.push_back(std::move(cell));
+    }
+    return true;
+}
+
+const Cell *
+findCell(const std::vector<Cell> &cells, const Cell &key)
+{
+    for (const Cell &cell : cells) {
+        if (cell.workload == key.workload &&
+            cell.prefetcher == key.prefetcher)
+            return &cell;
+    }
+    return nullptr;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CANDIDATE.json [--floor R]\n"
+                 "          [--geomean-floor R]\n"
+                 "  --floor R          fail (exit 1) if any cell\n"
+                 "                     ratio < R (default 0: report)\n"
+                 "  --geomean-floor R  fail (exit 1) if the geomean\n"
+                 "                     ratio < R (default 0: report)\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string candidate_path;
+    double floor_ratio = 0.0;
+    double geomean_floor = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--floor" && i + 1 < argc) {
+            floor_ratio = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--geomean-floor" && i + 1 < argc) {
+            geomean_floor = std::strtod(argv[++i], nullptr);
+        } else if (baseline_path.empty()) {
+            baseline_path = arg;
+        } else if (candidate_path.empty()) {
+            candidate_path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || candidate_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<Cell> baseline;
+    std::vector<Cell> candidate;
+    if (!loadCells(baseline_path, baseline) ||
+        !loadCells(candidate_path, candidate))
+        return 2;
+
+    std::printf("%-20s %-26s %12s %12s %7s\n", "workload",
+                "prefetcher", "base", "cand", "ratio");
+    double log_sum = 0.0;
+    double min_ratio = 0.0;
+    double max_ratio = 0.0;
+    std::string min_cell;
+    std::string max_cell;
+    unsigned matched = 0;
+    unsigned below_floor = 0;
+    for (const Cell &base : baseline) {
+        const Cell *cand = findCell(candidate, base);
+        if (!cand || base.rate() <= 0.0 || cand->rate() <= 0.0)
+            continue;
+        const double ratio = cand->rate() / base.rate();
+        const std::string label = base.workload + "/" + base.prefetcher;
+        std::printf("%-20s %-26s %12.0f %12.0f %6.2fx%s\n",
+                    base.workload.c_str(), base.prefetcher.c_str(),
+                    base.rate(), cand->rate(), ratio,
+                    floor_ratio > 0.0 && ratio < floor_ratio ? "  <-- below floor"
+                                                             : "");
+        log_sum += std::log(ratio);
+        if (matched == 0 || ratio < min_ratio) {
+            min_ratio = ratio;
+            min_cell = label;
+        }
+        if (matched == 0 || ratio > max_ratio) {
+            max_ratio = ratio;
+            max_cell = label;
+        }
+        ++matched;
+        if (floor_ratio > 0.0 && ratio < floor_ratio)
+            ++below_floor;
+    }
+
+    if (matched == 0) {
+        std::fprintf(stderr, "no matching cells between %s and %s\n",
+                     baseline_path.c_str(), candidate_path.c_str());
+        return 2;
+    }
+
+    const double geomean = std::exp(log_sum / matched);
+    std::printf("\ncells matched: %u\n", matched);
+    std::printf("geomean ratio: %.3fx\n", geomean);
+    std::printf("min ratio:     %.3fx (%s)\n", min_ratio,
+                min_cell.c_str());
+    std::printf("max ratio:     %.3fx (%s)\n", max_ratio,
+                max_cell.c_str());
+    bool failed = false;
+    if (floor_ratio > 0.0) {
+        std::printf("floor:         %.3fx -> %s\n", floor_ratio,
+                    below_floor == 0 ? "PASS" : "FAIL");
+        failed = failed || below_floor != 0;
+    }
+    if (geomean_floor > 0.0) {
+        const bool ok = geomean >= geomean_floor;
+        std::printf("geomean floor: %.3fx -> %s\n", geomean_floor,
+                    ok ? "PASS" : "FAIL");
+        failed = failed || !ok;
+    }
+    return failed ? 1 : 0;
+}
