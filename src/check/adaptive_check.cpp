@@ -1,0 +1,481 @@
+#include "check/adaptive_check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "check/reference_adaptive.hpp"
+#include "check/shrink.hpp"
+#include "core/composite.hpp"
+#include "mem/memory_image.hpp"
+#include "prefetch/next_line.hpp"
+#include "sim/simulator.hpp"
+#include "trace/counters.hpp"
+#include "workloads/trace_ingest.hpp"
+
+namespace dol::check
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** First differing line of two counter-registry texts. */
+std::string
+firstDivergence(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    while (true) {
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "texts equal";
+        if (ga != gb)
+            return "line counts differ";
+        if (la != lb)
+            return "first '" + la + "' second '" + lb + "'";
+    }
+}
+
+/**
+ * One full simulator run over the fuzz trace, hardwired or adaptive.
+ * Mirrors the main differential harness: the MemoryImage is rebuilt
+ * from the trace's (addr, value) pairs so P1's chases read what the
+ * trace loads returned, and the composite is configured straight from
+ * the case's FuzzParams.
+ */
+struct AdaptiveHarness
+{
+    AdaptiveHarness(const std::vector<TraceRecord> &records,
+                    const FuzzParams &params, bool adaptive,
+                    const AdaptiveParams &adapt)
+        : kernel(image, records)
+    {
+        for (const TraceRecord &record : records) {
+            const Instr instr = record.unpack();
+            if (instr.isMem())
+                image.write64(instr.addr, instr.value);
+        }
+
+        CompositePrefetcher::Config cfg;
+        cfg.t2 = params.t2;
+        cfg.enableP1 = params.enableP1;
+        cfg.enableC1 = params.enableC1;
+        cfg.adaptive = adaptive;
+        cfg.adapt = adapt;
+        tpc = std::make_unique<CompositePrefetcher>(&image, cfg);
+        tpc->addComponent(std::make_unique<NextLinePrefetcher>(
+            params.extraDegree1));
+        tpc->addComponent(std::make_unique<NextLinePrefetcher>(
+            params.extraDegree2));
+        if (params.numExtras >= 3) {
+            tpc->addComponent(std::make_unique<NextLinePrefetcher>(
+                params.extraDegree3));
+        }
+
+        SimConfig sim_config;
+        sim_config.maxInstrs = records.size();
+        sim = std::make_unique<Simulator>(sim_config, kernel,
+                                          tpc.get());
+        if (adaptive) {
+            MemorySystem &mem = sim->mem();
+            tpc->setPressureProbe([&mem] {
+                return mem.shared().dram().stats().windowDeferrals;
+            });
+        }
+    }
+
+    std::string
+    countersText()
+    {
+        CounterRegistry registry;
+        sim->exportCounters(registry);
+        return registry.toText();
+    }
+
+    MemoryImage image;
+    RecordKernel kernel;
+    std::unique_ptr<CompositePrefetcher> tpc;
+    std::unique_ptr<Simulator> sim;
+};
+
+/** The demand-stream fields adaptation must never perturb. Timing and
+ *  hit bits legitimately differ (different prefetches land in the
+ *  caches); what the program executes may not. */
+struct DemandRecord
+{
+    Pc pc = 0;
+    Pc mPc = 0;
+    Addr addr = 0;
+    bool isLoad = true;
+    std::uint64_t value = 0;
+
+    bool
+    operator==(const DemandRecord &other) const
+    {
+        return pc == other.pc && mPc == other.mPc &&
+               addr == other.addr && isLoad == other.isLoad &&
+               value == other.value;
+    }
+};
+
+std::vector<DemandRecord>
+runDemandStream(const std::vector<TraceRecord> &records,
+                const FuzzParams &params, bool adaptive,
+                const AdaptiveParams &adapt,
+                std::vector<AdaptiveWindowRecord> *log,
+                std::string *counters_out)
+{
+    AdaptiveHarness harness(records, params, adaptive, adapt);
+    if (log)
+        harness.tpc->setAdaptiveDecisionLog(log);
+    std::vector<DemandRecord> stream;
+    harness.sim->setAccessObserver([&](const AccessInfo &access) {
+        stream.push_back({access.pc, access.mPc, access.addr,
+                          access.isLoad, access.value});
+    });
+    harness.sim->run();
+    if (counters_out)
+        *counters_out = harness.countersText();
+    return stream;
+}
+
+/** Map a fuzz Instr onto one ChampSim record (round-trip check). Reg
+ *  ids fold into ChampSim's 1..63 operand space (0 = no operand). */
+ChampSimInstr
+toChampSim(const Instr &instr, Pc next_ip)
+{
+    ChampSimInstr out;
+    out.ip = instr.pc;
+    const auto reg = [](RegId r) -> std::uint8_t {
+        return r == kNoReg ? 0
+                           : static_cast<std::uint8_t>(
+                                 (r % (kNumRegs - 1)) + 1);
+    };
+    if (instr.isLoad()) {
+        out.srcMem[0] = instr.addr;
+        out.destRegs[0] = reg(instr.dst);
+        out.srcRegs[0] = reg(instr.src1);
+    } else if (instr.isStore()) {
+        out.destMem[0] = instr.addr;
+        out.srcRegs[0] = reg(instr.src1);
+        out.srcRegs[1] = reg(instr.src2);
+    } else if (instr.isControl()) {
+        out.isBranch = true;
+        out.branchTaken = instr.taken;
+        (void)next_ip;
+    } else {
+        out.destRegs[0] = reg(instr.dst);
+        out.srcRegs[0] = reg(instr.src1);
+        out.srcRegs[1] = reg(instr.src2);
+    }
+    return out;
+}
+
+bool
+sameChampSim(const ChampSimInstr &a, const ChampSimInstr &b)
+{
+    std::uint8_t ba[ChampSimInstr::kBytes];
+    std::uint8_t bb[ChampSimInstr::kBytes];
+    a.pack(ba);
+    b.pack(bb);
+    return std::equal(ba, ba + ChampSimInstr::kBytes, bb);
+}
+
+std::string
+describeSlotDiff(const AdaptiveSlotState &prod,
+                 const AdaptiveSlotState &ref)
+{
+    std::string text;
+    const auto field = [&](const char *name, std::int64_t p,
+                           std::int64_t r) {
+        if (p == r)
+            return;
+        if (!text.empty())
+            text += ", ";
+        text += std::string(name) + " production " + std::to_string(p) +
+                " reference " + std::to_string(r);
+    };
+    field("degree", prod.degree, ref.degree);
+    field("ewmaAcc", prod.ewmaAcc, ref.ewmaAcc);
+    field("ewmaCov", prod.ewmaCov, ref.ewmaCov);
+    field("ewmaValid", prod.ewmaValid, ref.ewmaValid);
+    field("belowStreak", prod.belowStreak, ref.belowStreak);
+    field("demoted", prod.demoted, ref.demoted);
+    field("probationLeft", prod.probationLeft, ref.probationLeft);
+    return text;
+}
+
+} // namespace
+
+AdaptiveParams
+makeAdaptiveParams(std::uint64_t case_seed)
+{
+    std::uint64_t state = splitMix(case_seed ^ 0xada9'7c0de5eedull);
+    const auto draw = [&state](std::uint64_t bound) {
+        state = splitMix(state);
+        return state % bound;
+    };
+    AdaptiveParams params;
+    // Small windows so short fuzz traces close many of them; every
+    // other knob jitters around the production defaults so threshold
+    // comparisons get exercised from both sides.
+    params.windowAccesses = 32 + 16 * draw(3);
+    params.ewmaShift = 1 + static_cast<unsigned>(draw(2));
+    params.rampHiPermille = 200 + 100 * static_cast<unsigned>(draw(3));
+    params.rampLoPermille = 40 + 20 * static_cast<unsigned>(draw(2));
+    params.demoteFloorPermille =
+        30 + 15 * static_cast<unsigned>(draw(3));
+    params.demoteWindows = 2 + static_cast<unsigned>(draw(3));
+    params.probationWindows = 4 + 4 * static_cast<unsigned>(draw(2));
+    params.startDegree = 1;
+    params.maxDegree = 8u << draw(3);
+    params.minWindowIssued = 2 + 2 * draw(3);
+    return params;
+}
+
+DiffResult
+checkAdaptiveTrace(const std::vector<TraceRecord> &records,
+                   const FuzzParams &params,
+                   const AdaptiveParams &adapt, Mutation mutation)
+{
+    DiffResult result;
+    if (records.empty()) {
+        result.ok = false;
+        result.check = "precondition";
+        result.message = "empty trace";
+        return result;
+    }
+
+    // Check 1 + 2 setup: one hardwired run, one adaptive run with the
+    // window-decision log armed.
+    const std::vector<DemandRecord> hardwired = runDemandStream(
+        records, params, false, adapt, nullptr, nullptr);
+    std::vector<AdaptiveWindowRecord> log;
+    std::string first_counters;
+    const std::vector<DemandRecord> adaptive = runDemandStream(
+        records, params, true, adapt, &log, &first_counters);
+
+    // Check 1: demand-stream identity.
+    if (hardwired.size() != adaptive.size()) {
+        result.ok = false;
+        result.check = "adaptive-demand";
+        result.message =
+            "hardwired saw " + std::to_string(hardwired.size()) +
+            " demand accesses, adaptive " +
+            std::to_string(adaptive.size());
+        return result;
+    }
+    for (std::size_t i = 0; i < hardwired.size(); ++i) {
+        if (hardwired[i] == adaptive[i])
+            continue;
+        result.ok = false;
+        result.check = "adaptive-demand";
+        result.index = i;
+        result.message =
+            "hardwired pc " + hex(hardwired[i].pc) + " addr " +
+            hex(hardwired[i].addr) + ", adaptive pc " +
+            hex(adaptive[i].pc) + " addr " + hex(adaptive[i].addr);
+        return result;
+    }
+
+    // Check 2: window-decision lockstep against the naive reference.
+    const std::size_t num_extras = params.numExtras >= 3 ? 3 : 2;
+    ReferenceAdaptive reference(adapt, num_extras, mutation);
+    for (std::size_t window = 0; window < log.size(); ++window) {
+        const AdaptiveWindowRecord &record = log[window];
+        const std::vector<AdaptiveSlotState> expected =
+            reference.endWindow(record.inputs, record.pressureDelta);
+        if (record.outputs.size() != expected.size()) {
+            result.ok = false;
+            result.check = "adaptive-policy";
+            result.index = window;
+            result.message =
+                "window logged " +
+                std::to_string(record.outputs.size()) +
+                " slots, reference has " +
+                std::to_string(expected.size());
+            return result;
+        }
+        for (std::size_t slot = 0; slot < expected.size(); ++slot) {
+            const std::string diff = describeSlotDiff(
+                record.outputs[slot], expected[slot]);
+            if (diff.empty())
+                continue;
+            result.ok = false;
+            result.check = "adaptive-policy";
+            result.index = window;
+            result.message = "window " + std::to_string(window) +
+                             " slot " + std::to_string(slot) + ": " +
+                             diff;
+            return result;
+        }
+    }
+
+    // Check 3: ChampSim round-trip. Every fuzz instruction maps onto
+    // one record, survives pack -> unpack bit-exactly, and the decoded
+    // stream expands deterministically.
+    std::vector<ChampSimInstr> encoded;
+    encoded.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Instr instr = records[i].unpack();
+        const Pc next_ip =
+            records[(i + 1) % records.size()].unpack().pc;
+        encoded.push_back(toChampSim(instr, next_ip));
+    }
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+        std::uint8_t bytes[ChampSimInstr::kBytes];
+        encoded[i].pack(bytes);
+        const ChampSimInstr decoded = ChampSimInstr::unpack(bytes);
+        if (!sameChampSim(encoded[i], decoded)) {
+            result.ok = false;
+            result.check = "trace-roundtrip";
+            result.index = i;
+            result.message = "record " + std::to_string(i) + " (ip " +
+                             hex(encoded[i].ip) +
+                             ") changed across pack/unpack";
+            return result;
+        }
+    }
+    {
+        MemoryImage image_a;
+        MemoryImage image_b;
+        TraceIngestStats stats_a;
+        TraceIngestStats stats_b;
+        const std::vector<Instr> expand_a =
+            expandChampSimTrace(encoded, image_a, &stats_a);
+        const std::vector<Instr> expand_b =
+            expandChampSimTrace(encoded, image_b, &stats_b);
+        bool same = expand_a.size() == expand_b.size() &&
+                    stats_a.loads == stats_b.loads &&
+                    stats_a.stores == stats_b.stores;
+        for (std::size_t i = 0; same && i < expand_a.size(); ++i) {
+            same = expand_a[i].pc == expand_b[i].pc &&
+                   expand_a[i].addr == expand_b[i].addr &&
+                   expand_a[i].value == expand_b[i].value &&
+                   expand_a[i].op == expand_b[i].op;
+        }
+        if (!same) {
+            result.ok = false;
+            result.check = "trace-roundtrip";
+            result.message =
+                "expandChampSimTrace is not deterministic (" +
+                std::to_string(expand_a.size()) + " vs " +
+                std::to_string(expand_b.size()) + " instrs)";
+            return result;
+        }
+    }
+
+    // Check 4: double-run byte determinism of the adaptive counters.
+    std::string second_counters;
+    (void)runDemandStream(records, params, true, adapt, nullptr,
+                          &second_counters);
+    if (first_counters != second_counters) {
+        result.ok = false;
+        result.check = "adaptive-determinism";
+        result.message =
+            "double-run counter registries differ (" +
+            firstDivergence(first_counters, second_counters) + ")";
+        return result;
+    }
+
+    return result;
+}
+
+DiffResult
+checkAdaptiveCase(std::uint64_t case_seed, Mutation mutation)
+{
+    const FuzzParams params = makeFuzzParams(case_seed);
+    const std::vector<TraceRecord> records =
+        makeFuzzTrace(case_seed, params);
+    const AdaptiveParams adapt = makeAdaptiveParams(case_seed);
+    return checkAdaptiveTrace(records, params, adapt, mutation);
+}
+
+AdaptiveCampaignReport
+runAdaptiveCampaign(const AdaptiveCampaignOptions &options)
+{
+    AdaptiveCampaignReport report;
+    report.cases = options.cases;
+    report.seed = options.seed;
+    for (std::uint64_t i = 0; i < options.cases; ++i) {
+        const std::uint64_t seed = caseSeed(options.seed, i);
+        DiffResult diff = checkAdaptiveCase(seed, options.mutation);
+        if (!diff.ok)
+            report.failures.push_back({i, seed, std::move(diff)});
+    }
+    return report;
+}
+
+std::string
+AdaptiveCampaignReport::summaryText() const
+{
+    std::string text = "adaptive fuzz: " + std::to_string(cases) +
+                       " cases, seed " + std::to_string(seed) + ", " +
+                       std::to_string(failures.size()) + " failure" +
+                       (failures.size() == 1 ? "" : "s") + "\n";
+    for (const Failure &failure : failures) {
+        text += "  case " + std::to_string(failure.index) + " (seed " +
+                std::to_string(failure.caseSeed) + "): " +
+                failure.diff.summary() + "\n";
+    }
+    return text;
+}
+
+AdaptiveProbe
+probeAdaptiveMutation(std::uint64_t campaign_seed,
+                      std::uint64_t max_cases, Mutation mutation,
+                      std::size_t max_shrink_evaluations)
+{
+    AdaptiveProbe probe;
+    for (std::uint64_t i = 0; i < max_cases; ++i) {
+        const std::uint64_t seed = caseSeed(campaign_seed, i);
+        const FuzzParams params = makeFuzzParams(seed);
+        const AdaptiveParams adapt = makeAdaptiveParams(seed);
+        const std::vector<TraceRecord> records =
+            makeFuzzTrace(seed, params);
+        DiffResult diff =
+            checkAdaptiveTrace(records, params, adapt, mutation);
+        if (diff.ok)
+            continue;
+
+        probe.found = true;
+        probe.caseIndex = i;
+        probe.caseSeed = seed;
+        probe.diff = std::move(diff);
+        probe.originalRecords = records.size();
+
+        // Params stay fixed while the trace shrinks, matching the
+        // main campaign's contract: the reproducer replays with the
+        // exact configuration that failed. The predicate pins the
+        // check name so the shrinker can never "succeed" by reducing
+        // to a trace that merely trips the empty-trace precondition.
+        const std::string check = probe.diff.check;
+        const ShrinkResult shrunk = shrinkTrace(
+            records,
+            [&](const std::vector<TraceRecord> &candidate) {
+                const DiffResult d = checkAdaptiveTrace(
+                    candidate, params, adapt, mutation);
+                return !d.ok && d.check == check;
+            },
+            max_shrink_evaluations);
+        probe.shrunk = shrunk.records;
+        probe.shrunkRecords = shrunk.records.size();
+        return probe;
+    }
+    return probe;
+}
+
+} // namespace dol::check

@@ -19,6 +19,8 @@ mutationName(Mutation mutation)
         return "rebind3";
       case Mutation::kArbitrationDrift:
         return "arbdrift";
+      case Mutation::kDegreeRampStuck:
+        return "degstick";
     }
     return "none";
 }
@@ -38,6 +40,8 @@ mutationFromName(const std::string &name)
         return Mutation::kRebindWrongExtra;
     if (name == "arbdrift")
         return Mutation::kArbitrationDrift;
+    if (name == "degstick")
+        return Mutation::kDegreeRampStuck;
     return std::nullopt;
 }
 

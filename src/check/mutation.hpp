@@ -40,6 +40,12 @@ enum class Mutation
      *  byte-determinism check must notice, proving it would also
      *  catch a real nondeterministic arbitration bug. */
     kArbitrationDrift,
+    /** Adaptive self-test: the reference policy's degree ramp is
+     *  stuck at the maximum — every window decision reports maxDegree
+     *  for every extra regardless of accuracy. The `--fuzz-adaptive`
+     *  window-decision diff must notice on the first closed window,
+     *  proving it would also catch a real runaway ramp. */
+    kDegreeRampStuck,
 };
 
 const char *mutationName(Mutation mutation);

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Naive reference re-implementation of the adaptive coordinator's
+ * window-decision policy (AdaptiveCoordinator::endWindow).
+ *
+ * The production coordinator logs every closed window — the raw
+ * issued/used inputs per slot plus the pressure-probe delta — into an
+ * AdaptiveWindowRecord stream. This model replays those inputs through
+ * an independent, deliberately plain transcription of the documented
+ * decision sequence and produces its own post-decision slot states;
+ * the checker diffs the two per window, per slot, per field. The
+ * production loop and this one share no code beyond AdaptiveParams and
+ * the state/record structs, so a slipped threshold comparison, a
+ * mis-ordered ramp/pressure branch, or a probation off-by-one on
+ * either side surfaces as a field diff on the first affected window.
+ *
+ * kDegreeRampStuck plants the canonical ramp bug on this side: the
+ * reference reports maxDegree for every extra on every window, so the
+ * very first closed window must diverge — proving the degree field of
+ * the diff has teeth.
+ */
+
+#ifndef DOL_CHECK_REFERENCE_ADAPTIVE_HPP
+#define DOL_CHECK_REFERENCE_ADAPTIVE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "check/mutation.hpp"
+#include "core/adaptive.hpp"
+
+namespace dol::check
+{
+
+class ReferenceAdaptive
+{
+  public:
+    ReferenceAdaptive(const AdaptiveParams &params,
+                      std::size_t num_extras,
+                      Mutation mutation = Mutation::kNone)
+        : _params(params), _mutation(mutation)
+    {
+        _slots.resize(AdaptiveCoordinator::kFirstExtraSlot + num_extras);
+        for (std::size_t i = AdaptiveCoordinator::kFirstExtraSlot;
+             i < _slots.size(); ++i) {
+            _slots[i].degree = params.startDegree;
+        }
+    }
+
+    /**
+     * Close one window from the logged inputs; returns the reference's
+     * post-decision state of every slot (same order as the production
+     * record's outputs vector).
+     */
+    std::vector<AdaptiveSlotState>
+    endWindow(const std::vector<AdaptiveWindowInput> &inputs,
+              std::uint64_t pressure_delta)
+    {
+        ++_windows;
+        for (std::size_t index = 0; index < _slots.size(); ++index) {
+            AdaptiveSlotState &state = _slots[index];
+            const AdaptiveWindowInput &in = inputs[index];
+
+            // 1. Coverage EWMA. The production model increments its
+            // window counter before deciding, so "first window" is
+            // _windows == 1 on both sides.
+            const std::int32_t cov_sample =
+                permille(in.used, _params.windowAccesses);
+            if (_windows == 1)
+                state.ewmaCov = cov_sample;
+            else
+                state.ewmaCov +=
+                    (cov_sample - state.ewmaCov) >> _params.ewmaShift;
+
+            // 2. Accuracy EWMA, only when the window issued enough.
+            const bool has_verdict =
+                in.issued >= _params.minWindowIssued;
+            if (has_verdict) {
+                const std::int32_t acc_sample =
+                    permille(in.used, in.issued);
+                if (!state.ewmaValid) {
+                    state.ewmaAcc = acc_sample;
+                    state.ewmaValid = true;
+                } else {
+                    state.ewmaAcc += (acc_sample - state.ewmaAcc) >>
+                                     _params.ewmaShift;
+                }
+            }
+
+            if (index >= AdaptiveCoordinator::kFirstExtraSlot) {
+                // 3. Extras: pressure halving trumps the ramp. The
+                // ramp trusts the sticky EWMA (no fresh verdict
+                // required, so sparse accurate extras are not starved
+                // by slow start); halving demands fresh evidence.
+                if (pressure_delta > 0 && state.degree > 1) {
+                    state.degree >>= 1;
+                } else if (state.ewmaValid &&
+                           state.ewmaAcc >=
+                               static_cast<std::int32_t>(
+                                   _params.rampHiPermille) &&
+                           state.degree < _params.maxDegree) {
+                    state.degree = std::min<std::uint32_t>(
+                        state.degree * 2, _params.maxDegree);
+                } else if (has_verdict && state.ewmaValid &&
+                           state.ewmaAcc <
+                               static_cast<std::int32_t>(
+                                   _params.rampLoPermille) &&
+                           state.degree > 1) {
+                    state.degree >>= 1;
+                }
+                if (_mutation == Mutation::kDegreeRampStuck)
+                    state.degree = _params.maxDegree;
+            } else if (state.demoted) {
+                // 4a. Demoted claimants serve probation; re-admission
+                // wipes the accuracy history.
+                if (--state.probationLeft == 0) {
+                    state.demoted = false;
+                    state.belowStreak = 0;
+                    state.ewmaValid = false;
+                    state.ewmaAcc = 0;
+                }
+            } else {
+                // 4b. Healthy claimants extend or reset the streak.
+                if (has_verdict && state.ewmaValid &&
+                    state.ewmaAcc < static_cast<std::int32_t>(
+                                        _params.demoteFloorPermille)) {
+                    ++state.belowStreak;
+                } else {
+                    state.belowStreak = 0;
+                }
+                if (state.belowStreak >= _params.demoteWindows) {
+                    state.demoted = true;
+                    state.belowStreak = 0;
+                    state.probationLeft = _params.probationWindows;
+                }
+            }
+        }
+        return _slots;
+    }
+
+  private:
+    static std::int32_t
+    permille(std::uint64_t numerator, std::uint64_t denominator)
+    {
+        if (denominator == 0)
+            return 0;
+        const std::uint64_t raw = numerator * 1000 / denominator;
+        return static_cast<std::int32_t>(
+            std::min<std::uint64_t>(raw, 1000));
+    }
+
+    AdaptiveParams _params;
+    Mutation _mutation;
+    std::vector<AdaptiveSlotState> _slots;
+    std::uint64_t _windows = 0;
+};
+
+} // namespace dol::check
+
+#endif // DOL_CHECK_REFERENCE_ADAPTIVE_HPP

@@ -1,0 +1,218 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "trace/context.hpp"
+#include "trace/counters.hpp"
+
+namespace dol
+{
+
+namespace
+{
+
+/** used/issued (or used/window) as a per-mille ratio, clamped: a
+ *  window can consume lines issued in earlier windows, so the raw
+ *  ratio may exceed 1. */
+std::int32_t
+permille(std::uint64_t numerator, std::uint64_t denominator)
+{
+    if (denominator == 0)
+        return 0;
+    const std::uint64_t raw = numerator * 1000 / denominator;
+    return static_cast<std::int32_t>(std::min<std::uint64_t>(raw, 1000));
+}
+
+} // namespace
+
+AdaptiveCoordinator::AdaptiveCoordinator(const AdaptiveParams &params)
+    : _params(params)
+{
+    _slots.resize(kFirstExtraSlot);
+    for (Slot &slot : _slots)
+        slot.state.degree = 0; // claimants have no degree schedule
+}
+
+void
+AdaptiveCoordinator::addExtra()
+{
+    Slot slot;
+    slot.state.degree = _params.startDegree;
+    _slots.push_back(slot);
+}
+
+void
+AdaptiveCoordinator::updateEwma(std::int32_t &ewma, bool &valid,
+                                std::int32_t sample) const
+{
+    if (!valid) {
+        ewma = sample;
+        valid = true;
+        return;
+    }
+    ewma += (sample - ewma) >> _params.ewmaShift;
+}
+
+void
+AdaptiveCoordinator::endWindow(Cycle when)
+{
+    _accessInWindow = 0;
+    ++_windows;
+
+    std::uint64_t pressure_delta = 0;
+    if (_pressureProbe) {
+        const std::uint64_t current = _pressureProbe();
+        if (_pressurePrimed)
+            pressure_delta = current - _lastPressure;
+        _lastPressure = current;
+        _pressurePrimed = true;
+    }
+
+    AdaptiveWindowRecord record;
+    if (_decisionLog) {
+        record.pressureDelta = pressure_delta;
+        record.inputs.reserve(_slots.size());
+        record.outputs.reserve(_slots.size());
+    }
+
+    for (std::size_t index = 0; index < _slots.size(); ++index) {
+        Slot &slot = _slots[index];
+        AdaptiveSlotState &state = slot.state;
+        if (_decisionLog)
+            record.inputs.push_back({slot.issuedWindow, slot.usedWindow});
+
+        bool cov_valid = _windows > 1; // first window initialises
+        std::int32_t cov = state.ewmaCov;
+        updateEwma(cov, cov_valid,
+                   permille(slot.usedWindow, _params.windowAccesses));
+        state.ewmaCov = cov;
+
+        const bool has_verdict =
+            slot.issuedWindow >= _params.minWindowIssued;
+        if (has_verdict) {
+            updateEwma(state.ewmaAcc, state.ewmaValid,
+                       permille(slot.usedWindow, slot.issuedWindow));
+        }
+
+        if (index >= kFirstExtraSlot) {
+            // Slow-start degree schedule. Bandwidth pressure trumps
+            // accuracy: a congested window halves every extra.
+            const std::uint32_t before = state.degree;
+            if (pressure_delta > 0 && state.degree > 1) {
+                state.degree >>= 1;
+                ++_pressureHalvings;
+            } else if (state.ewmaValid &&
+                       state.ewmaAcc >=
+                           static_cast<std::int32_t>(
+                               _params.rampHiPermille) &&
+                       state.degree < _params.maxDegree) {
+                // Ramping trusts the sticky EWMA: a component whose
+                // last known accuracy is high keeps ramping even in
+                // windows too quiet for a fresh verdict, otherwise a
+                // sparse but perfectly accurate extra is starved by
+                // its own slow start (it can never issue enough under
+                // a degree-1 budget to earn the verdict that would
+                // raise the budget).
+                state.degree = std::min<std::uint32_t>(
+                    state.degree * 2, _params.maxDegree);
+                ++_ramps;
+            } else if (has_verdict && state.ewmaValid &&
+                       state.ewmaAcc <
+                           static_cast<std::int32_t>(
+                               _params.rampLoPermille) &&
+                       state.degree > 1) {
+                // Halving still demands fresh evidence from this
+                // window: stale inaccuracy must not keep punishing a
+                // component that has gone quiet.
+                state.degree >>= 1;
+                ++_halvings;
+            }
+            if (state.degree != before) {
+                DOL_TRACE_EVENT(_trace, TraceEventType::kAdaptDegree,
+                                when, 0, 0, slot.comp, 0,
+                                static_cast<std::uint8_t>(
+                                    std::min<std::uint32_t>(state.degree,
+                                                            0xff)));
+            }
+        } else if (state.demoted) {
+            if (--state.probationLeft == 0) {
+                state.demoted = false;
+                state.belowStreak = 0;
+                // Forget the pre-demotion accuracy history: the
+                // re-admitted claimant starts from a clean slate
+                // instead of being instantly re-demoted.
+                state.ewmaValid = false;
+                state.ewmaAcc = 0;
+                ++_readmits;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kAdaptReadmit,
+                                when, 0, 0, slot.comp, 0,
+                                static_cast<std::uint8_t>(index));
+            }
+        } else {
+            if (has_verdict && state.ewmaValid &&
+                state.ewmaAcc < static_cast<std::int32_t>(
+                                    _params.demoteFloorPermille)) {
+                ++state.belowStreak;
+            } else {
+                state.belowStreak = 0;
+            }
+            if (state.belowStreak >= _params.demoteWindows) {
+                state.demoted = true;
+                state.belowStreak = 0;
+                state.probationLeft = _params.probationWindows;
+                ++_demotions;
+                DOL_TRACE_EVENT(_trace, TraceEventType::kAdaptDemote,
+                                when, 0, 0, slot.comp, 0,
+                                static_cast<std::uint8_t>(index));
+            }
+        }
+
+        slot.issuedTotal += slot.issuedWindow;
+        slot.usedTotal += slot.usedWindow;
+        slot.issuedWindow = 0;
+        slot.usedWindow = 0;
+        if (_decisionLog)
+            record.outputs.push_back(state);
+    }
+
+    if (_decisionLog)
+        _decisionLog->push_back(std::move(record));
+}
+
+void
+AdaptiveCoordinator::exportCounters(CounterRegistry &registry) const
+{
+    const std::string scope = "adapt";
+    registry.set(scope, "windows", _windows);
+    registry.set(scope, "ramps", _ramps);
+    registry.set(scope, "halvings", _halvings);
+    registry.set(scope, "pressure_halvings", _pressureHalvings);
+    registry.set(scope, "demotions", _demotions);
+    registry.set(scope, "readmits", _readmits);
+
+    static const char *const kClaimants[] = {"T2", "P1", "C1"};
+    for (std::size_t index = 0; index < _slots.size(); ++index) {
+        const Slot &slot = _slots[index];
+        const std::string label =
+            index < kFirstExtraSlot
+                ? std::string(kClaimants[index])
+                : "extra" + std::to_string(index - kFirstExtraSlot);
+        registry.set(scope, "acc_" + label,
+                     static_cast<std::uint64_t>(
+                         std::max<std::int32_t>(slot.state.ewmaAcc, 0)));
+        registry.set(scope, "cov_" + label,
+                     static_cast<std::uint64_t>(
+                         std::max<std::int32_t>(slot.state.ewmaCov, 0)));
+        registry.set(scope, "issued_" + label, slot.issuedTotal);
+        registry.set(scope, "used_" + label, slot.usedTotal);
+        registry.set(scope, "throttled_" + label, slot.throttledTotal);
+        if (index >= kFirstExtraSlot) {
+            registry.set(scope, "deg_" + label, slot.state.degree);
+        } else {
+            registry.set(scope, "demoted_" + label,
+                         slot.state.demoted ? 1 : 0);
+        }
+    }
+}
+
+} // namespace dol

@@ -23,6 +23,8 @@ CompositePrefetcher::CompositePrefetcher(const ValueSource *memory,
     }
     if (config.enableC1)
         _c1 = std::make_unique<C1Prefetcher>(config.c1);
+    if (config.adaptive)
+        _adapt = std::make_unique<AdaptiveCoordinator>(config.adapt);
 }
 
 void
@@ -31,6 +33,8 @@ CompositePrefetcher::addComponent(std::unique_ptr<Prefetcher> extra)
     _extras.push_back(std::move(extra));
     _health.emplace_back();
     _extraBoundAccesses.push_back(0);
+    if (_adapt)
+        _adapt->addExtra();
 }
 
 bool
@@ -57,6 +61,23 @@ CompositePrefetcher::assignIds(const IdAllocator &alloc)
         setId(_t2->id());
     else if (_c1)
         setId(_c1->id());
+
+    if (_adapt) {
+        if (_t2)
+            _adapt->setSlotComponent(AdaptiveCoordinator::kSlotT2,
+                                     _t2->id());
+        if (_p1)
+            _adapt->setSlotComponent(AdaptiveCoordinator::kSlotP1,
+                                     _p1->id());
+        if (_c1)
+            _adapt->setSlotComponent(AdaptiveCoordinator::kSlotC1,
+                                     _c1->id());
+        for (std::size_t i = 0; i < _extras.size(); ++i) {
+            _adapt->setSlotComponent(
+                AdaptiveCoordinator::kFirstExtraSlot + i,
+                _extras[i]->id());
+        }
+    }
 }
 
 void
@@ -71,6 +92,8 @@ CompositePrefetcher::setTraceContext(TraceContext *trace)
         _c1->setTraceContext(trace);
     for (auto &extra : _extras)
         extra->setTraceContext(trace);
+    if (_adapt)
+        _adapt->setTraceContext(trace);
 }
 
 void
@@ -95,6 +118,25 @@ CompositePrefetcher::exportCounters(CounterRegistry &registry) const
                          _extraBoundAccesses[i]);
         }
     }
+    if (_adapt)
+        _adapt->exportCounters(registry);
+}
+
+int
+CompositePrefetcher::slotOfComponent(ComponentId comp) const
+{
+    if (_t2 && comp == _t2->id())
+        return static_cast<int>(AdaptiveCoordinator::kSlotT2);
+    if (_p1 && comp == _p1->id())
+        return static_cast<int>(AdaptiveCoordinator::kSlotP1);
+    if (_c1 && comp == _c1->id())
+        return static_cast<int>(AdaptiveCoordinator::kSlotC1);
+    const int extra = extraIndexOfComponent(comp);
+    if (extra >= 0) {
+        return static_cast<int>(AdaptiveCoordinator::kFirstExtraSlot) +
+               extra;
+    }
+    return -1;
 }
 
 CompositePrefetcher::Owner
@@ -176,8 +218,8 @@ CompositePrefetcher::routeToExtras(const AccessInfo &access,
 
     Prefetcher &extra = *_extras[index];
     const std::uint64_t issued_before = emitter.issuedCount();
-    withComponent(extra, emitter, _config.extraDest,
-                  [&] { extra.train(access, emitter); });
+    runSlot(AdaptiveCoordinator::kFirstExtraSlot + index, extra, emitter,
+            _config.extraDest, [&] { extra.train(access, emitter); });
     health.issuedWindow += emitter.issuedCount() - issued_before;
 
     if (_config.adaptiveThrottle &&
@@ -199,33 +241,55 @@ CompositePrefetcher::train(const AccessInfo &access,
                            PrefetchEmitter &emitter)
 {
     ++_accessCount;
+
+    // Adaptive feedback: credit the component whose prefetched line
+    // this demand hit, before any training mutates state.
+    if (_adapt && access.l1HitPrefetched) {
+        const int slot = slotOfComponent(access.l1HitComp);
+        if (slot >= 0)
+            _adapt->recordUsed(static_cast<std::size_t>(slot));
+    }
+
     // T2 sees every access: it is the first expert consulted and the
-    // sole owner of strided instructions.
+    // sole owner of strided instructions. A demoted claimant still
+    // trains (so it re-admits with warm state) but its claim is
+    // ignored and its emission budget is zero, so the access falls
+    // through to lower-priority components.
     bool claimed = false;
     if (_t2) {
-        withComponent(*_t2, emitter, _config.t2Dest,
-                      [&] { _t2->train(access, emitter); });
-        const InstrState state = _t2->stateOf(access.mPc);
-        claimed = state == InstrState::kStrided ||
-                  state == InstrState::kObservation;
+        runSlot(AdaptiveCoordinator::kSlotT2, *_t2, emitter,
+                _config.t2Dest, [&] { _t2->train(access, emitter); });
+        if (!(_adapt && _adapt->demoted(AdaptiveCoordinator::kSlotT2))) {
+            const InstrState state = _t2->stateOf(access.mPc);
+            claimed = state == InstrState::kStrided ||
+                      state == InstrState::kObservation;
+        }
     }
 
     // P1 acts on the retire stream; here it only claims ownership so
     // lower-priority components leave its instructions alone.
-    if (!claimed && _p1 && _p1->handles(access.mPc))
+    if (!claimed && _p1 &&
+        !(_adapt && _adapt->demoted(AdaptiveCoordinator::kSlotP1)) &&
+        _p1->handles(access.mPc)) {
         claimed = true;
+    }
 
     if (!claimed && _c1) {
         if (access.l1PrimaryMiss)
             _c1->considerInstruction(access.mPc);
-        withComponent(*_c1, emitter, _config.c1Dest,
-                      [&] { _c1->train(access, emitter); });
-        claimed = _c1->isMarked(access.mPc) ||
-                  _c1->isMonitored(access.mPc);
+        runSlot(AdaptiveCoordinator::kSlotC1, *_c1, emitter,
+                _config.c1Dest, [&] { _c1->train(access, emitter); });
+        if (!(_adapt && _adapt->demoted(AdaptiveCoordinator::kSlotC1))) {
+            claimed = _c1->isMarked(access.mPc) ||
+                      _c1->isMonitored(access.mPc);
+        }
     }
 
     if (!claimed)
         routeToExtras(access, emitter);
+
+    if (_adapt)
+        _adapt->onAccess(access.when);
 
     if (_trace) {
         // Ownership-transition events. The map is only populated while
@@ -258,18 +322,21 @@ CompositePrefetcher::onInstr(const Instr &instr, const RetireInfo &retire,
                              Pc m_pc, PrefetchEmitter &emitter)
 {
     if (_t2) {
-        withComponent(*_t2, emitter, _config.t2Dest, [&] {
+        runSlot(AdaptiveCoordinator::kSlotT2, *_t2, emitter,
+                _config.t2Dest, [&] {
             _t2->onInstr(instr, retire, m_pc, emitter);
         });
     }
     if (_p1) {
-        withComponent(*_p1, emitter, _config.p1Dest, [&] {
+        runSlot(AdaptiveCoordinator::kSlotP1, *_p1, emitter,
+                _config.p1Dest, [&] {
             _p1->onInstr(instr, retire, m_pc, emitter);
         });
     }
-    for (auto &extra : _extras) {
-        withComponent(*extra, emitter, _config.extraDest, [&] {
-            extra->onInstr(instr, retire, m_pc, emitter);
+    for (std::size_t i = 0; i < _extras.size(); ++i) {
+        runSlot(AdaptiveCoordinator::kFirstExtraSlot + i, *_extras[i],
+                emitter, _config.extraDest, [&] {
+            _extras[i]->onInstr(instr, retire, m_pc, emitter);
         });
     }
 }
@@ -279,13 +346,15 @@ CompositePrefetcher::onFill(ComponentId comp, Addr line_addr,
                             Cycle completion, PrefetchEmitter &emitter)
 {
     if (_p1) {
-        withComponent(*_p1, emitter, _config.p1Dest, [&] {
+        runSlot(AdaptiveCoordinator::kSlotP1, *_p1, emitter,
+                _config.p1Dest, [&] {
             _p1->onFill(comp, line_addr, completion, emitter);
         });
     }
-    for (auto &extra : _extras) {
-        withComponent(*extra, emitter, _config.extraDest, [&] {
-            extra->onFill(comp, line_addr, completion, emitter);
+    for (std::size_t i = 0; i < _extras.size(); ++i) {
+        runSlot(AdaptiveCoordinator::kFirstExtraSlot + i, *_extras[i],
+                emitter, _config.extraDest, [&] {
+            _extras[i]->onFill(comp, line_addr, completion, emitter);
         });
     }
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/flat_table.hpp"
+#include "core/adaptive.hpp"
 #include "core/c1.hpp"
 #include "core/p1.hpp"
 #include "core/t2.hpp"
@@ -56,6 +57,18 @@ class CompositePrefetcher : public Prefetcher
         std::uint64_t throttleWindow = 2048;  ///< issues per verdict
         double throttleMinAccuracy = 0.15;
         std::uint64_t suspendAccesses = 8192; ///< probation length
+
+        /**
+         * Full feedback-driven coordination (`--coordinator adaptive`,
+         * src/core/adaptive.hpp): windowed accuracy/coverage EWMAs,
+         * slow-start degree ramping for the extras, and K-window
+         * claimant demotion. Orthogonal to (and subsuming) the older
+         * adaptiveThrottle suspension above; off by default so the
+         * hardwired coordinator — and every golden trace — is
+         * untouched.
+         */
+        bool adaptive = false;
+        AdaptiveParams adapt{};
     };
 
     explicit CompositePrefetcher(const ValueSource *memory);
@@ -100,6 +113,29 @@ class CompositePrefetcher : public Prefetcher
     /** Is extra component @p index currently suspended? (tests) */
     bool extraSuspended(std::size_t index) const;
 
+    // Adaptive coordination ----------------------------------------
+    /** The adaptive policy engine, nullptr in hardwired mode. */
+    AdaptiveCoordinator *adaptive() { return _adapt.get(); }
+    const AdaptiveCoordinator *adaptive() const { return _adapt.get(); }
+
+    /** DRAM pressure feed for the degree schedule (no-op when
+     *  hardwired; the experiment runner wires it to the shared
+     *  controller's windowDeferrals counter). */
+    void
+    setPressureProbe(std::function<std::uint64_t()> probe)
+    {
+        if (_adapt)
+            _adapt->setPressureProbe(std::move(probe));
+    }
+
+    /** Window-decision mirror for the differential checker. */
+    void
+    setAdaptiveDecisionLog(std::vector<AdaptiveWindowRecord> *log)
+    {
+        if (_adapt)
+            _adapt->setDecisionLog(log);
+    }
+
   private:
     /** Run a sub-component with its identity and dest override set. */
     template <typename Fn>
@@ -115,6 +151,37 @@ class CompositePrefetcher : public Prefetcher
         emitter.forceDestLevel(saved);
     }
 
+    /**
+     * withComponent plus adaptive bookkeeping: arms the slot's
+     * emission budget and records the issued/throttled deltas. In
+     * hardwired mode (_adapt == nullptr) this is exactly
+     * withComponent — one extra null test on the hot path.
+     */
+    template <typename Fn>
+    void
+    runSlot(std::size_t slot, Prefetcher &comp, PrefetchEmitter &emitter,
+            std::optional<unsigned> dest_override, Fn &&fn)
+    {
+        if (!_adapt) {
+            withComponent(comp, emitter, dest_override,
+                          std::forward<Fn>(fn));
+            return;
+        }
+        emitter.setEmitBudget(_adapt->budgetFor(slot));
+        const std::uint64_t issued_before = emitter.issuedCount();
+        const std::uint64_t throttled_before = emitter.throttledCount();
+        withComponent(comp, emitter, dest_override, std::forward<Fn>(fn));
+        _adapt->recordIssued(slot,
+                             emitter.issuedCount() - issued_before);
+        _adapt->recordThrottled(
+            slot, emitter.throttledCount() - throttled_before);
+        emitter.setEmitBudget(PrefetchEmitter::kUnlimitedBudget);
+    }
+
+    /** Adaptive slot of a component id, or -1 (see AdaptiveCoordinator
+     *  slot layout: T2/P1/C1 then the extras). */
+    int slotOfComponent(ComponentId comp) const;
+
     void routeToExtras(const AccessInfo &access,
                        PrefetchEmitter &emitter);
     int extraIndexOfComponent(ComponentId comp) const;
@@ -124,6 +191,7 @@ class CompositePrefetcher : public Prefetcher
     std::unique_ptr<P1Prefetcher> _p1;
     std::unique_ptr<C1Prefetcher> _c1;
     std::vector<std::unique_ptr<Prefetcher>> _extras;
+    std::unique_ptr<AdaptiveCoordinator> _adapt;
 
     /** Instruction -> extra-component binding (round-robin seeded). */
     FlatHashMap<Pc, unsigned> _bindings;

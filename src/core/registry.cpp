@@ -95,26 +95,32 @@ splitExtras(const std::string &list)
 } // namespace
 
 std::unique_ptr<Prefetcher>
-makePrefetcher(const std::string &name, const ValueSource *memory)
+makePrefetcher(const std::string &name, const ValueSource *memory,
+               bool adaptive)
 {
     if (auto mono = makeMonolithic(name, memory))
-        return mono;
+        return mono; // monolithics have no coordinator to adapt
 
     if (name == "T2") {
         CompositePrefetcher::Config config;
         config.enableP1 = false;
         config.enableC1 = false;
+        config.adaptive = adaptive;
         return std::make_unique<CompositePrefetcher>(memory, config,
                                                      "T2");
     }
     if (name == "T2P1") {
         CompositePrefetcher::Config config;
         config.enableC1 = false;
+        config.adaptive = adaptive;
         return std::make_unique<CompositePrefetcher>(memory, config,
                                                      "T2P1");
     }
-    if (name == "TPC")
-        return makeTpc(memory);
+    if (name == "TPC") {
+        CompositePrefetcher::Config config;
+        config.adaptive = adaptive;
+        return makeTpc(memory, config);
+    }
 
     constexpr std::string_view composite_prefix = "TPC+";
     constexpr std::string_view shunt_prefix = "SHUNT:TPC+";
@@ -133,7 +139,9 @@ makePrefetcher(const std::string &name, const ValueSource *memory)
     }
 
     if (name.starts_with(composite_prefix)) {
-        auto tpc = makeTpc(memory);
+        CompositePrefetcher::Config config;
+        config.adaptive = adaptive;
+        auto tpc = makeTpc(memory, config);
         for (const std::string &extra_name :
              splitExtras(name.substr(composite_prefix.size()))) {
             auto extra = makeMonolithic(extra_name, memory);

@@ -37,10 +37,17 @@ std::vector<std::string> figureEightPrefetcherNames();
  * Build a prefetcher by name; @p memory is required for
  * configurations containing P1 (value chaining).
  *
+ * @param adaptive run composite coordinators in adaptive mode
+ *                 (`--coordinator adaptive`, src/core/adaptive.hpp).
+ *                 Monolithic prefetchers and SHUNT configurations have
+ *                 no coordinator, so the flag is a documented no-op
+ *                 for them.
+ *
  * Calls fatal() on an unknown name.
  */
 std::unique_ptr<Prefetcher>
-makePrefetcher(const std::string &name, const ValueSource *memory);
+makePrefetcher(const std::string &name, const ValueSource *memory,
+               bool adaptive = false);
 
 /** TPC with per-component destination overrides (Figure 16). */
 std::unique_ptr<CompositePrefetcher>

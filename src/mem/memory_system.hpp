@@ -164,6 +164,7 @@ enum class PrefetchOutcome : std::uint8_t
     kFilteredPending, ///< fetch already outstanding
     kDroppedMshr,     ///< no MSHR available at the target level
     kDroppedQueue,    ///< shed by the memory controller
+    kDroppedThrottle, ///< blocked by the adaptive emission budget
 };
 
 class MemorySystem : public DataPort

@@ -110,6 +110,18 @@ class PrefetchEmitter
            std::uint8_t priority = 1)
     {
         const unsigned level = resolveDest(addr, dest_level);
+        if (_budget == 0) {
+            // Adaptive degree cap: the request never reaches the
+            // memory system, so throttling only removes traffic.
+            ++_throttledCount;
+            const PrefetchOutcome outcome =
+                PrefetchOutcome::kDroppedThrottle;
+            if (_hook)
+                _hook({addr, level, _comp, when, outcome});
+            return outcome;
+        }
+        if (_budget != kUnlimitedBudget)
+            --_budget;
         const PrefetchOutcome outcome = account(
             _mem->prefetch(addr, level, _comp, when, priority));
         if (_hook)
@@ -123,6 +135,19 @@ class PrefetchEmitter
     /** Running count of prefetches that actually issued (for the
      *  adaptive coordinator's accuracy bookkeeping). */
     std::uint64_t issuedCount() const { return _issuedCount; }
+
+    /**
+     * Per-call emission budget (the adaptive coordinator's degree
+     * cap). kUnlimitedBudget — the default, and the only value the
+     * hardwired coordinator ever sees — disables the mechanism
+     * entirely.
+     */
+    static constexpr std::uint32_t kUnlimitedBudget = 0xffffffffu;
+    void setEmitBudget(std::uint32_t budget) { _budget = budget; }
+    std::uint32_t emitBudget() const { return _budget; }
+
+    /** Emissions blocked by an exhausted budget. */
+    std::uint64_t throttledCount() const { return _throttledCount; }
 
   private:
     unsigned
@@ -148,6 +173,8 @@ class PrefetchEmitter
     DestOracle _oracle;
     EmitHook _hook;
     std::uint64_t _issuedCount = 0;
+    std::uint32_t _budget = kUnlimitedBudget;
+    std::uint64_t _throttledCount = 0;
 };
 
 class Prefetcher

@@ -48,6 +48,20 @@ parseUnsignedInRange(const std::string &text, std::uint64_t min,
     return true;
 }
 
+bool
+parseCoordinatorMode(const std::string &text, bool &adaptive_out)
+{
+    if (text == "hardwired") {
+        adaptive_out = false;
+        return true;
+    }
+    if (text == "adaptive") {
+        adaptive_out = true;
+        return true;
+    }
+    return false;
+}
+
 std::string
 cellTracePath(const std::string &base, const std::string &workload,
               const std::string &prefetcher, const std::string &variant)

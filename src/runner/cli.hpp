@@ -38,6 +38,15 @@ bool parseUnsignedInRange(const std::string &text, std::uint64_t min,
                           std::uint64_t max, std::uint64_t &out);
 
 /**
+ * Parse a --coordinator mode name. "hardwired" selects the paper's
+ * fixed T2->P1->C1 policy, "adaptive" the feedback-driven one;
+ * anything else — including the empty string — is rejected so a typo
+ * can never silently fall back to the default policy.
+ * @return false (out untouched) on an unknown mode.
+ */
+bool parseCoordinatorMode(const std::string &text, bool &adaptive_out);
+
+/**
  * Per-cell trace file name for multi-cell sweeps:
  * "<base>.<workload>.<prefetcher><variant>". Single-cell sweeps use
  * @p base verbatim (callers special-case that).

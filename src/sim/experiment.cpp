@@ -119,12 +119,26 @@ ExperimentRunner::run(const WorkloadSpec &spec,
 
     MemoryImage image;
     auto kernel = spec.factory(image);
-    auto prefetcher = options.factory
-                          ? options.factory(&image)
-                          : makePrefetcher(prefetcher_name, &image);
+    auto prefetcher =
+        options.factory
+            ? options.factory(&image)
+            : makePrefetcher(prefetcher_name, &image,
+                             options.adaptiveCoordinator);
 
     Simulator sim(_config, *kernel, prefetcher.get());
     sim.setStratifier(base.stratifier.get());
+    if (options.adaptiveCoordinator) {
+        // Feed the degree schedule's pressure signal from the shared
+        // DRAM controller. The probe only fires inside sim.run(), so
+        // the captured reference never outlives the simulator.
+        if (auto *composite =
+                dynamic_cast<CompositePrefetcher *>(prefetcher.get())) {
+            MemorySystem &mem = sim.mem();
+            composite->setPressureProbe([&mem] {
+                return mem.shared().dram().stats().windowDeferrals;
+            });
+        }
+    }
     if (options.exclude)
         sim.accounting().setExcludeSet(options.exclude);
     if (options.forceDest)

@@ -112,6 +112,12 @@ struct RunOptions
     /** Collect end-of-run counters into RunOutput::counters (implied
      *  by a non-empty tracePath). */
     bool collectCounters = false;
+
+    /** Run composite coordinators in adaptive mode (`--coordinator
+     *  adaptive`): feedback-driven degree ramping and claim demotion,
+     *  with the DRAM window-deferral counter wired in as the pressure
+     *  signal. No-op for monolithic prefetchers. */
+    bool adaptiveCoordinator = false;
 };
 
 class BaselineCache;

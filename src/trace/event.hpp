@@ -57,6 +57,11 @@ enum class TraceEventType : std::uint8_t
     // CPU core.
     kCoreMispredict, ///< branch mispredict redirected the front end
 
+    // Adaptive coordinator (window decisions; arg: degree/slot).
+    kAdaptDegree,  ///< an extra's emission budget changed
+    kAdaptDemote,  ///< a claimant's claims suspended (below floor)
+    kAdaptReadmit, ///< a demoted claimant re-admitted after probation
+
     kNumTraceEventTypes,
 };
 

@@ -73,6 +73,9 @@ traceEventName(TraceEventType type)
       case TraceEventType::kCoordClaim: return "coord_claim";
       case TraceEventType::kCoordUnclaim: return "coord_unclaim";
       case TraceEventType::kCoreMispredict: return "core_mispredict";
+      case TraceEventType::kAdaptDegree: return "adapt_degree";
+      case TraceEventType::kAdaptDemote: return "adapt_demote";
+      case TraceEventType::kAdaptReadmit: return "adapt_readmit";
       case TraceEventType::kNumTraceEventTypes: break;
     }
     return "unknown";

@@ -1,5 +1,9 @@
 #include "workloads/suite.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "workloads/irregular_kernels.hpp"
@@ -7,6 +11,7 @@
 #include "workloads/pointer_kernels.hpp"
 #include "workloads/stream_kernels.hpp"
 #include "workloads/temporal_kernels.hpp"
+#include "workloads/trace_ingest.hpp"
 
 namespace dol
 {
@@ -427,10 +432,52 @@ allWorkloads()
     return all;
 }
 
+const std::vector<WorkloadSpec> &
+traceSuite()
+{
+    static const auto suite = [] {
+        std::vector<WorkloadSpec> out;
+        const char *env = std::getenv("DOL_TRACE_DIR");
+        const std::string dir = env ? env : "tests/traces";
+
+        std::error_code ec;
+        std::vector<std::string> paths;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec)) {
+            if (!entry.is_regular_file(ec))
+                continue;
+            const std::string path = entry.path().string();
+            const auto has_suffix = [&path](const char *suffix) {
+                const std::size_t len = std::string(suffix).size();
+                return path.size() > len &&
+                       path.compare(path.size() - len, len, suffix) == 0;
+            };
+            if (has_suffix(".champsim") || has_suffix(".champsim.xz"))
+                paths.push_back(path);
+        }
+        std::sort(paths.begin(), paths.end());
+
+        for (const std::string &path : paths) {
+            out.push_back(
+                {"trace:" + champSimTraceStem(path), "trace",
+                 [path](MemoryImage &mem) {
+                     return std::make_unique<TraceIngestKernel>(mem,
+                                                                path);
+                 }});
+        }
+        return out;
+    }();
+    return suite;
+}
+
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {
     for (const WorkloadSpec &spec : allWorkloads()) {
+        if (spec.name == name)
+            return spec;
+    }
+    for (const WorkloadSpec &spec : traceSuite()) {
         if (spec.name == name)
             return spec;
     }

@@ -50,7 +50,18 @@ const std::vector<WorkloadSpec> &temporalSuite();
 /** Every single-core workload, all suites concatenated. */
 const std::vector<WorkloadSpec> &allWorkloads();
 
-/** Find a workload by name (fatal on unknown). */
+/**
+ * ChampSim trace workloads (`--suite trace`): one `trace:<stem>` spec
+ * per `*.champsim` / `*.champsim.xz` file in $DOL_TRACE_DIR (default
+ * `tests/traces`), sorted by filename. Empty when the directory does
+ * not exist. Deliberately NOT folded into allWorkloads(): the set
+ * depends on the working directory, and `--suite all` / makeMixes()
+ * must stay byte-deterministic regardless of where dolsim runs.
+ */
+const std::vector<WorkloadSpec> &traceSuite();
+
+/** Find a workload by name, searching the synthetic suites then the
+ *  trace suite (fatal on unknown). */
 const WorkloadSpec &findWorkload(const std::string &name);
 
 /**

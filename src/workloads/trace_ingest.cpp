@@ -1,0 +1,374 @@
+#include "workloads/trace_ingest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace dol
+{
+
+namespace
+{
+
+/** Absurd-size guard: 4M records (256 MiB) is far beyond any fixture
+ *  and catches garbage files whose size merely happens to be a
+ *  multiple of the record size. */
+constexpr std::uint64_t kMaxRecords = 1u << 22;
+
+std::uint64_t
+rd64le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+wr64le(std::uint8_t *p, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** splitmix64 finalizer: the deterministic value model's hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+/** Single-quote @p path for the shell (xz pipe). */
+std::string
+shellQuote(const std::string &path)
+{
+    std::string quoted = "'";
+    for (const char c : path) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+bool
+readRawBytes(const std::string &path, std::vector<std::uint8_t> &bytes,
+             std::string *error)
+{
+    const bool compressed =
+        path.size() > 3 && path.compare(path.size() - 3, 3, ".xz") == 0;
+    if (!compressed) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return fail(error, "cannot open trace: " + path);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+        return true;
+    }
+
+    const std::string command = "xz -dc " + shellQuote(path);
+    FILE *pipe = ::popen(command.c_str(), "r");
+    if (!pipe)
+        return fail(error, "cannot spawn xz for: " + path);
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof chunk, pipe)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const int status = ::pclose(pipe);
+    if (status != 0)
+        return fail(error, "xz decode failed for: " + path);
+    return true;
+}
+
+/** ChampSim register slot -> simulated RegId. 0 is "no operand". */
+RegId
+mapReg(std::uint8_t reg, TraceIngestStats *stats)
+{
+    if (reg == 0)
+        return kNoReg;
+    if (reg >= kNumRegs) {
+        if (stats)
+            ++stats->clampedRegs;
+        return static_cast<RegId>(reg % kNumRegs);
+    }
+    return static_cast<RegId>(reg);
+}
+
+} // namespace
+
+void
+ChampSimInstr::pack(std::uint8_t out[kBytes]) const
+{
+    std::memset(out, 0, kBytes);
+    wr64le(out, ip);
+    out[8] = isBranch;
+    out[9] = branchTaken;
+    std::memcpy(out + 10, destRegs, kNumDestRegs);
+    std::memcpy(out + 12, srcRegs, kNumSrcRegs);
+    for (unsigned i = 0; i < kNumDestMem; ++i)
+        wr64le(out + 16 + 8 * i, destMem[i]);
+    for (unsigned i = 0; i < kNumSrcMem; ++i)
+        wr64le(out + 32 + 8 * i, srcMem[i]);
+}
+
+ChampSimInstr
+ChampSimInstr::unpack(const std::uint8_t in[kBytes])
+{
+    ChampSimInstr record;
+    record.ip = rd64le(in);
+    record.isBranch = in[8];
+    record.branchTaken = in[9];
+    std::memcpy(record.destRegs, in + 10, kNumDestRegs);
+    std::memcpy(record.srcRegs, in + 12, kNumSrcRegs);
+    for (unsigned i = 0; i < kNumDestMem; ++i)
+        record.destMem[i] = rd64le(in + 16 + 8 * i);
+    for (unsigned i = 0; i < kNumSrcMem; ++i)
+        record.srcMem[i] = rd64le(in + 32 + 8 * i);
+    return record;
+}
+
+bool
+readChampSimTrace(const std::string &path,
+                  std::vector<ChampSimInstr> &out, std::string *error)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readRawBytes(path, bytes, error))
+        return false;
+
+    if (bytes.empty())
+        return fail(error, "empty trace: " + path);
+    if (bytes.size() % ChampSimInstr::kBytes != 0) {
+        return fail(error,
+                    "truncated trace (" + std::to_string(bytes.size()) +
+                        " bytes is not a multiple of " +
+                        std::to_string(ChampSimInstr::kBytes) +
+                        "): " + path);
+    }
+    const std::uint64_t count = bytes.size() / ChampSimInstr::kBytes;
+    if (count > kMaxRecords) {
+        return fail(error,
+                    "trace too large (" + std::to_string(count) +
+                        " records): " + path);
+    }
+
+    out.clear();
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const ChampSimInstr record = ChampSimInstr::unpack(
+            bytes.data() + i * ChampSimInstr::kBytes);
+        // Flag bytes are strictly 0/1 in well-formed traces; anything
+        // else means we are not looking at a ChampSim trace at all.
+        if (record.isBranch > 1 || record.branchTaken > 1) {
+            return fail(error,
+                        "garbage flags at record " + std::to_string(i) +
+                            " (is_branch=" +
+                            std::to_string(record.isBranch) +
+                            " taken=" +
+                            std::to_string(record.branchTaken) +
+                            "): " + path);
+        }
+        out.push_back(record);
+    }
+    return true;
+}
+
+bool
+writeChampSimTrace(const std::string &path,
+                   const std::vector<ChampSimInstr> &records,
+                   std::string *error)
+{
+    std::ofstream outfile(path, std::ios::binary | std::ios::trunc);
+    if (!outfile)
+        return fail(error, "cannot open for write: " + path);
+    std::uint8_t buffer[ChampSimInstr::kBytes];
+    for (const ChampSimInstr &record : records) {
+        record.pack(buffer);
+        outfile.write(reinterpret_cast<const char *>(buffer),
+                      sizeof buffer);
+    }
+    outfile.flush();
+    if (!outfile)
+        return fail(error, "short write: " + path);
+    return true;
+}
+
+std::vector<Instr>
+expandChampSimTrace(const std::vector<ChampSimInstr> &records,
+                    MemoryImage &image, TraceIngestStats *stats)
+{
+    TraceIngestStats local;
+    std::vector<Instr> instrs;
+    instrs.reserve(records.size() * 2);
+
+    // The deterministic heap model: current value per 8-byte slot,
+    // plus the first value each slot ever held (baked into the image
+    // below so fill-time pointer reads match trace load values).
+    std::unordered_map<Addr, std::uint64_t> heap;
+    std::unordered_map<Addr, std::uint64_t> first_touch;
+
+    const auto read_heap = [&](Addr addr) {
+        auto [it, inserted] = heap.try_emplace(addr, 0);
+        if (inserted) {
+            it->second = mix64(addr);
+            first_touch.emplace(addr, it->second);
+        }
+        return it->second;
+    };
+    const auto write_heap = [&](Addr addr, std::uint64_t value) {
+        const auto [it, inserted] = heap.insert_or_assign(addr, value);
+        (void)it;
+        if (inserted)
+            first_touch.emplace(addr, value);
+    };
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const ChampSimInstr &record = records[i];
+        ++local.records;
+
+        RegId dst = kNoReg;
+        for (const std::uint8_t reg : record.destRegs) {
+            if ((dst = mapReg(reg, &local)) != kNoReg)
+                break;
+        }
+        RegId base = kNoReg;
+        RegId data = kNoReg;
+        for (const std::uint8_t reg : record.srcRegs) {
+            const RegId mapped = mapReg(reg, &local);
+            if (mapped == kNoReg)
+                continue;
+            if (base == kNoReg)
+                base = mapped;
+            else if (data == kNoReg)
+                data = mapped;
+        }
+
+        bool emitted_mem = false;
+        for (const std::uint64_t addr : record.srcMem) {
+            if (addr == 0)
+                continue;
+            instrs.push_back(
+                makeLoad(record.ip, addr, read_heap(addr), dst, base));
+            ++local.loads;
+            emitted_mem = true;
+        }
+        for (const std::uint64_t addr : record.destMem) {
+            if (addr == 0)
+                continue;
+            const std::uint64_t value =
+                mix64(record.ip ^ mix64(addr ^ i));
+            write_heap(addr, value);
+            instrs.push_back(
+                makeStore(record.ip, addr, value, data, base));
+            ++local.stores;
+            emitted_mem = true;
+        }
+
+        if (record.isBranch) {
+            // ChampSim records carry no target; the next record's ip
+            // is where the front end actually went. The final branch
+            // closes the loop back to record zero, matching the
+            // kernel's replay wrap-around.
+            const Pc target = i + 1 < records.size()
+                                  ? records[i + 1].ip
+                                  : records.front().ip;
+            instrs.push_back(makeBranch(record.ip, target,
+                                        record.branchTaken != 0));
+            ++local.branches;
+        } else if (!emitted_mem) {
+            instrs.push_back(makeAlu(record.ip, dst, base, data));
+            ++local.alus;
+        }
+    }
+
+    for (const auto &[addr, value] : first_touch)
+        image.write64(addr, value);
+
+    local.instrs = instrs.size();
+    if (stats)
+        *stats = local;
+    return instrs;
+}
+
+TraceIngestKernel::TraceIngestKernel(MemoryImage &memory,
+                                     const std::string &path, bool loop)
+    : Kernel("trace:" + champSimTraceStem(path), memory), _loop(loop)
+{
+    std::vector<ChampSimInstr> records;
+    std::string error;
+    if (!readChampSimTrace(path, records, &error))
+        fatal(error);
+    _instrs = expandChampSimTrace(records, memory, &_stats);
+}
+
+TraceIngestKernel::TraceIngestKernel(
+    MemoryImage &memory, const std::vector<ChampSimInstr> &records,
+    bool loop, std::string name)
+    : Kernel(std::move(name), memory), _loop(loop)
+{
+    _instrs = expandChampSimTrace(records, memory, &_stats);
+}
+
+void
+TraceIngestKernel::reset()
+{
+    _position = 0;
+    clearQueue();
+}
+
+bool
+TraceIngestKernel::generate()
+{
+    if (_instrs.empty())
+        return false;
+    if (_position >= _instrs.size()) {
+        if (!_loop)
+            return false;
+        _position = 0;
+    }
+    // One batch per generate() call keeps queue occupancy bounded
+    // while amortising the virtual-call overhead (PR 9's batch loop).
+    const std::size_t batch =
+        std::min<std::size_t>(64, _instrs.size() - _position);
+    for (std::size_t i = 0; i < batch; ++i)
+        push(_instrs[_position + i]);
+    _position += batch;
+    return true;
+}
+
+std::string
+champSimTraceStem(const std::string &filename)
+{
+    std::string stem = filename;
+    const std::size_t slash = stem.find_last_of('/');
+    if (slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    const auto strip = [&stem](const char *suffix) {
+        const std::size_t len = std::strlen(suffix);
+        if (stem.size() > len &&
+            stem.compare(stem.size() - len, len, suffix) == 0) {
+            stem.resize(stem.size() - len);
+        }
+    };
+    strip(".xz");
+    strip(".champsim");
+    return stem;
+}
+
+} // namespace dol

@@ -1,0 +1,114 @@
+# Adaptive-coordinator sweep smoke, run as a ctest via `cmake -P`.
+#
+# Drives dolsim with `--coordinator adaptive` over a small grid and
+# validates the emitted dol-sweep-v1 document: schema tag, full grid,
+# the `adapt.` counter scope on every composite row (windows closed,
+# per-slot degree/accuracy state), and byte-identical results between
+# --jobs 1 and --jobs 8 (the adaptive policy is integer-only and
+# window-driven, so scheduling must not leak into its decisions).
+#
+# Usage:
+#   cmake -DDOLSIM=<path-to-dolsim> -DWORKDIR=<scratch-dir>
+#         -P adaptive_sweep.cmake
+
+foreach(required DOLSIM WORKDIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "adaptive_sweep: -D${required}= not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+foreach(jobs 1 8)
+    execute_process(
+        COMMAND "${DOLSIM}"
+            --workload libquantum.syn,tempstream.syn
+            --prefetcher TPC,TPC+SPP
+            --coordinator adaptive
+            --instrs 20000
+            --jobs ${jobs}
+            --counters
+            --json "${WORKDIR}/adaptive_j${jobs}.json"
+            --quiet
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "adaptive_sweep: dolsim --jobs ${jobs} failed (${rc})")
+    endif()
+endforeach()
+
+file(READ "${WORKDIR}/adaptive_j1.json" doc)
+file(READ "${WORKDIR}/adaptive_j8.json" doc_j8)
+
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    string(JSON schema GET "${doc}" schema)
+    if(NOT schema STREQUAL "dol-sweep-v1")
+        message(FATAL_ERROR "adaptive_sweep: schema is '${schema}'")
+    endif()
+    string(JSON n_results LENGTH "${doc}" results)
+    # 2 workloads x 2 prefetchers.
+    if(NOT n_results EQUAL 4)
+        message(FATAL_ERROR
+                "adaptive_sweep: expected 4 results, got ${n_results}")
+    endif()
+    math(EXPR last "${n_results} - 1")
+    foreach(i RANGE ${last})
+        string(JSON row GET "${doc}" results ${i})
+        # Every row is a composite under the adaptive coordinator, so
+        # the adapt scope must ride into the JSON: lifetime window
+        # count and claimant state on every row, plus the first
+        # extra's degree schedule on the enlarged (TPC+SPP) rows —
+        # plain TPC has claimants only, no extra slots.
+        set(wanted adapt.windows adapt.acc_T2 adapt.demoted_T2
+            adapt.ramps)
+        string(JSON prefetcher GET "${row}" prefetcher)
+        if(prefetcher MATCHES "\\+")
+            list(APPEND wanted adapt.deg_extra0)
+        endif()
+        foreach(counter IN LISTS wanted)
+            string(JSON value ERROR_VARIABLE err
+                   GET "${row}" counters "${counter}")
+            if(err)
+                message(FATAL_ERROR
+                        "adaptive_sweep: row ${i} lacks counter "
+                        "${counter}")
+            endif()
+        endforeach()
+        # Windows must actually have closed at this budget, otherwise
+        # the policy never ran and the sweep proves nothing.
+        string(JSON windows GET "${row}" counters adapt.windows)
+        if(windows EQUAL 0)
+            message(FATAL_ERROR
+                    "adaptive_sweep: row ${i} closed zero adaptive "
+                    "windows")
+        endif()
+    endforeach()
+
+    # Scheduling determinism: the results arrays (metrics + counters,
+    # adapt. scope included) must be identical across job counts.
+    string(JSON results_j1 GET "${doc}" results)
+    string(JSON results_j8 GET "${doc_j8}" results)
+    if(NOT results_j1 STREQUAL results_j8)
+        message(FATAL_ERROR
+                "adaptive_sweep: --jobs 1 and --jobs 8 results differ")
+    endif()
+else()
+    foreach(needle "\"schema\": \"dol-sweep-v1\"" "adapt.windows"
+            "adapt.deg_extra0" "adapt.acc_T2")
+        string(FIND "${doc}" "${needle}" pos)
+        if(pos EQUAL -1)
+            message(FATAL_ERROR
+                    "adaptive_sweep: '${needle}' missing from JSON")
+        endif()
+    endforeach()
+    if(NOT doc STREQUAL doc_j8)
+        message(FATAL_ERROR
+                "adaptive_sweep: --jobs 1 and --jobs 8 documents "
+                "differ")
+    endif()
+endif()
+
+message(STATUS "adaptive_sweep: dol-sweep-v1 document valid "
+               "(4 cells, adapt counters present, jobs-invariant)")

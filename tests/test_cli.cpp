@@ -74,6 +74,29 @@ TEST(ParseUnsignedInRange, EnforcesBothBounds)
     EXPECT_FALSE(parseUnsignedInRange("", 0, 4096, out));
 }
 
+TEST(ParseCoordinatorMode, AcceptsExactlyTheTwoModes)
+{
+    bool adaptive = true;
+    EXPECT_TRUE(parseCoordinatorMode("hardwired", adaptive));
+    EXPECT_FALSE(adaptive);
+    EXPECT_TRUE(parseCoordinatorMode("adaptive", adaptive));
+    EXPECT_TRUE(adaptive);
+}
+
+TEST(ParseCoordinatorMode, RejectsUnknownAndEmptyModes)
+{
+    // A typo must fail loudly, never silently fall back to the
+    // hardwired default — and the out-param must stay untouched.
+    bool untouched = true;
+    EXPECT_FALSE(parseCoordinatorMode("", untouched));
+    EXPECT_FALSE(parseCoordinatorMode("Adaptive", untouched));
+    EXPECT_FALSE(parseCoordinatorMode("ADAPTIVE", untouched));
+    EXPECT_FALSE(parseCoordinatorMode("adaptive ", untouched));
+    EXPECT_FALSE(parseCoordinatorMode("auto", untouched));
+    EXPECT_FALSE(parseCoordinatorMode("hardwire", untouched));
+    EXPECT_TRUE(untouched);
+}
+
 TEST(CellTracePath, ComposesPerCellNames)
 {
     EXPECT_EQ(cellTracePath("run.trc", "mcf.syn", "TPC", ""),

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/adaptive_check.hpp"
 #include "check/campaign.hpp"
 #include "check/fuzz_workload.hpp"
 #include "check/multicore_check.hpp"
@@ -251,6 +252,46 @@ TEST(MulticoreFuzz, ArbitrationDriftMutationIsCaught)
     ASSERT_NE(index, UINT64_MAX)
         << "arbdrift survived 200 multicore fuzz cases undetected";
     EXPECT_LT(index, 200u);
+}
+
+/**
+ * Adaptive differential campaign: every case runs the identical trace
+ * under the hardwired and adaptive coordinators (demand streams must
+ * be identical), replays the logged window decisions through the
+ * naive ReferenceAdaptive policy, round-trips the trace through the
+ * ChampSim codec, and double-runs the adaptive configuration for
+ * byte-identical counters.
+ */
+TEST(AdaptiveFuzz, CleanCampaignReportsZeroFailures)
+{
+    AdaptiveCampaignOptions options;
+    options.cases = 40;
+    options.seed = 1;
+    const AdaptiveCampaignReport report =
+        runAdaptiveCampaign(options);
+    EXPECT_TRUE(report.ok()) << report.summaryText();
+    EXPECT_EQ(report.summaryText(),
+              "adaptive fuzz: 40 cases, seed 1, 0 failures\n");
+}
+
+/**
+ * Self-test for the adaptive checker's teeth: a reference degree ramp
+ * stuck at maxDegree must surface as a window-decision diff within
+ * the case budget and shrink to roughly one decision window of
+ * records. Catching it proves the per-window, per-slot field diff
+ * would also catch a real runaway ramp in production.
+ */
+TEST(AdaptiveFuzz, DegreeRampStuckMutationIsCaughtAndShrinksSmall)
+{
+    const AdaptiveProbe probe =
+        probeAdaptiveMutation(7, 200, Mutation::kDegreeRampStuck);
+    ASSERT_TRUE(probe.found)
+        << "degstick survived 200 adaptive fuzz cases undetected";
+    EXPECT_LT(probe.caseIndex, 200u);
+    EXPECT_EQ(probe.diff.check, "adaptive-policy");
+    EXPECT_FALSE(probe.shrunk.empty());
+    EXPECT_LE(probe.shrunk.size(), 100u)
+        << "shrunk degstick reproducer too large";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMutations, MutationSelfTest,

@@ -26,6 +26,7 @@
 #include <csignal>
 #include <unistd.h>
 
+#include "check/adaptive_check.hpp"
 #include "check/campaign.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/worker.hpp"
@@ -42,6 +43,7 @@
 #include "workloads/contention.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/trace_file.hpp"
+#include "workloads/trace_ingest.hpp"
 
 namespace
 {
@@ -65,6 +67,8 @@ struct Options
     std::string trace; ///< write binary event trace(s) to this path
     std::string dumpTrace; ///< dump a binary event trace as text
     std::string dest; ///< "", "l1", "l2", "stratified"
+    bool adaptiveCoordinator = false; ///< --coordinator adaptive
+    std::string traceIn; ///< ChampSim trace to run as the workload
 
     // Multi-core contention scenarios (src/sim/contention.hpp).
     std::vector<std::string> mixes; ///< named contention mixes
@@ -74,6 +78,7 @@ struct Options
     // Differential fuzzing (src/check/).
     std::uint64_t fuzz = 0; ///< campaign size; 0 = no campaign
     std::uint64_t fuzzMulticore = 0; ///< multicore campaign size
+    std::uint64_t fuzzAdaptive = 0; ///< adaptive-coordinator campaign
     std::uint64_t fuzzSeed = 1;
     std::string fuzzDir = "fuzz-repro";
     std::string fuzzMutate; ///< reference-model mutation (self-test)
@@ -110,7 +115,7 @@ usage()
         "  --list                     list workloads and exit\n"
         "  --workload NAME[,NAME...]  workloads to run\n"
         "  --suite NAME               "
-        "spec|crono|starbench|npb|temporal|all\n"
+        "spec|crono|starbench|npb|temporal|trace|all\n"
         "  --prefetcher NAME[,...]    registry names (default TPC)\n"
         "  --instrs N                 instruction budget (default "
         "200000)\n"
@@ -120,6 +125,11 @@ usage()
         "(dol-sweep-v1)\n"
         "  --dest l1|l2|stratified    force/oracle prefetch "
         "destination\n"
+        "  --coordinator MODE         hardwired|adaptive (default "
+        "hardwired)\n"
+        "  --trace-in FILE            run a ChampSim trace "
+        "(.champsim/.champsim.xz) as\n"
+        "                             the workload\n"
         "  --record FILE              record the workload's trace\n"
         "  --replay FILE              replay a recorded trace\n"
         "  --trace FILE               write binary event trace(s); "
@@ -140,12 +150,14 @@ usage()
         "fuzz campaign\n"
         "  --fuzz-multicore N         run an N-case multicore "
         "determinism/attribution campaign\n"
+        "  --fuzz-adaptive N          run an N-case adaptive-vs-"
+        "hardwired differential campaign\n"
         "  --fuzz-seed S              campaign master seed "
         "(default 1)\n"
         "  --fuzz-dir DIR             shrunk-reproducer directory "
         "(default fuzz-repro)\n"
         "  --fuzz-mutate NAME         plant a reference-model bug "
-        "(lru|rebind|t2confirm|rebind3|arbdrift)\n"
+        "(lru|rebind|t2confirm|rebind3|arbdrift|degstick)\n"
         "  --fuzz-replay FILE         re-check a shrunk reproducer "
         "(with --fuzz-case-seed)\n"
         "  --fuzz-case-seed S         case seed from the "
@@ -209,12 +221,33 @@ parse(int argc, char **argv)
                 options.workloads.push_back(name);
         } else if (arg == "--suite") {
             const std::string suite = next();
-            for (const auto &spec : dol::allWorkloads()) {
-                if (suite == "all" || spec.suite == suite)
+            if (suite == "trace") {
+                // The trace suite scans $DOL_TRACE_DIR and is kept out
+                // of allWorkloads() (and "all") on purpose — see
+                // workloads/suite.hpp.
+                for (const auto &spec : dol::traceSuite())
                     options.workloads.push_back(spec.name);
+                if (options.workloads.empty())
+                    dol::fatal("no ChampSim traces found for --suite "
+                               "trace (set DOL_TRACE_DIR or add "
+                               "*.champsim files under tests/traces)");
+            } else {
+                for (const auto &spec : dol::allWorkloads()) {
+                    if (suite == "all" || spec.suite == suite)
+                        options.workloads.push_back(spec.name);
+                }
+                if (options.workloads.empty())
+                    dol::fatal("unknown suite: " + suite);
             }
-            if (options.workloads.empty())
-                dol::fatal("unknown suite: " + suite);
+        } else if (arg == "--coordinator") {
+            const std::string mode = next();
+            if (!dol::runner::parseCoordinatorMode(
+                    mode, options.adaptiveCoordinator)) {
+                dol::fatal("bad --coordinator value: '" + mode +
+                           "' (hardwired|adaptive)");
+            }
+        } else if (arg == "--trace-in") {
+            options.traceIn = nextPath();
         } else if (arg == "--prefetcher") {
             options.prefetchers = splitCommas(next());
             if (options.prefetchers.empty())
@@ -265,6 +298,12 @@ parse(int argc, char **argv)
             if (!parseUnsignedInRange(value, 1, UINT64_MAX,
                                       options.fuzzMulticore)) {
                 dol::fatal("bad --fuzz-multicore value: " + value);
+            }
+        } else if (arg == "--fuzz-adaptive") {
+            const std::string value = next();
+            if (!parseUnsignedInRange(value, 1, UINT64_MAX,
+                                      options.fuzzAdaptive)) {
+                dol::fatal("bad --fuzz-adaptive value: " + value);
             }
         } else if (arg == "--fuzz-seed") {
             const std::string value = next();
@@ -358,10 +397,17 @@ parse(int argc, char **argv)
         options.workloads.push_back("libquantum.syn");
     if (options.resume && options.checkpoint.empty())
         dol::fatal("--resume needs --checkpoint FILE");
+    if (!options.traceIn.empty() &&
+        (!options.replay.empty() || !options.record.empty())) {
+        dol::fatal("--trace-in conflicts with --record/--replay (all "
+                   "three define the workload source)");
+    }
     const bool grid_only_conflict =
-        options.fuzz || options.fuzzMulticore || !options.mixes.empty() ||
+        options.fuzz || options.fuzzMulticore || options.fuzzAdaptive ||
+        !options.mixes.empty() ||
         !options.trace.empty() || !options.record.empty() ||
-        !options.replay.empty() || !options.fuzzReplay.empty();
+        !options.replay.empty() || !options.fuzzReplay.empty() ||
+        !options.traceIn.empty();
     if (options.fleet && options.fleetWorker)
         dol::fatal("--fleet and --fleet-worker are exclusive");
     if (options.fleet) {
@@ -504,6 +550,22 @@ main(int argc, char **argv)
         return report.ok() ? 0 : 1;
     }
 
+    if (options.fuzzAdaptive > 0) {
+        if (*mutation != check::Mutation::kNone &&
+            *mutation != check::Mutation::kDegreeRampStuck) {
+            fatal("--fuzz-adaptive self-tests support --fuzz-mutate "
+                  "degstick only");
+        }
+        check::AdaptiveCampaignOptions campaign;
+        campaign.cases = options.fuzzAdaptive;
+        campaign.seed = options.fuzzSeed;
+        campaign.mutation = *mutation;
+        const check::AdaptiveCampaignReport report =
+            check::runAdaptiveCampaign(campaign);
+        std::fputs(report.summaryText().c_str(), stdout);
+        return report.ok() ? 0 : 1;
+    }
+
     SimConfig config;
     config.maxInstrs = options.instrs;
 
@@ -529,8 +591,17 @@ main(int argc, char **argv)
     else if (!options.dest.empty())
         fatal("bad --dest value: " + options.dest);
 
+    run_options.adaptiveCoordinator = options.adaptiveCoordinator;
+
     std::vector<WorkloadSpec> specs;
-    if (!options.replay.empty()) {
+    if (!options.traceIn.empty()) {
+        const std::string path = options.traceIn;
+        specs.push_back({"trace:" + champSimTraceStem(path), "trace",
+                         [path](MemoryImage &image) {
+                             return std::make_unique<TraceIngestKernel>(
+                                 image, path);
+                         }});
+    } else if (!options.replay.empty()) {
         const std::string path = options.replay;
         specs.push_back(
             {"replay:" + path, "trace", [path](MemoryImage &image) {
@@ -683,6 +754,8 @@ main(int argc, char **argv)
         };
         if (!options.dest.empty())
             push_flag("--dest", options.dest);
+        if (options.adaptiveCoordinator)
+            push_flag("--coordinator", "adaptive");
         if (options.counters)
             base_args.push_back("--counters");
         if (options.seedVariants)
